@@ -1,0 +1,9 @@
+//! Figure 4: PE structure and latency formulas.
+use compstat_bench::{experiments, print_report};
+
+fn main() {
+    print_report(
+        "Figure 4: processing element stages and latency",
+        &experiments::figure4_report(),
+    );
+}

@@ -1,0 +1,9 @@
+//! Figure 5: execution timeline.
+use compstat_bench::{experiments, print_report};
+
+fn main() {
+    print_report(
+        "Figure 5: accelerator execution timeline (event simulator)",
+        &experiments::figure5_report(),
+    );
+}

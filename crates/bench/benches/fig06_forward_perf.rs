@@ -1,0 +1,9 @@
+//! Figure 6: forward-unit performance.
+use compstat_bench::{experiments, print_report};
+
+fn main() {
+    print_report(
+        "Figure 6: forward algorithm unit wall-clock (model vs paper)",
+        &experiments::figure6_report(500_000),
+    );
+}

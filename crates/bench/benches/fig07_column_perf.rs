@@ -1,0 +1,9 @@
+//! Figure 7: column-unit performance on D0..D7.
+use compstat_bench::{experiments, print_report};
+
+fn main() {
+    print_report(
+        "Figure 7: column unit wall-clock on synthetic D0..D7",
+        &experiments::figure7_report(),
+    );
+}

@@ -1,0 +1,9 @@
+//! Figure 8: performance per resource unit.
+use compstat_bench::{experiments, print_report};
+
+fn main() {
+    print_report(
+        "Figure 8: MMAPS per CLB unit (posit ~2x logarithm)",
+        &experiments::figure8_report(),
+    );
+}

@@ -1,0 +1,9 @@
+//! Figure 10: VICAR likelihood accuracy CDFs.
+use compstat_bench::{experiments, print_report, Scale};
+
+fn main() {
+    print_report(
+        "Figure 10: overall accuracy of final VICAR likelihoods (CDFs)",
+        &experiments::figure10_report(Scale::from_env()),
+    );
+}

@@ -1,0 +1,9 @@
+//! Figure 11: LoFreq p-value accuracy CDFs.
+use compstat_bench::{experiments, print_report, Scale};
+
+fn main() {
+    print_report(
+        "Figure 11: overall accuracy of final LoFreq p-values (CDFs)",
+        &experiments::figure11_report(Scale::from_env()),
+    );
+}

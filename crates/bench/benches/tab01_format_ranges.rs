@@ -1,0 +1,9 @@
+//! Table I: dynamic range and precision of the number formats.
+use compstat_bench::{experiments, print_report};
+
+fn main() {
+    print_report(
+        "Table I: dynamic range and precision of number formats",
+        &experiments::table1_report(),
+    );
+}

@@ -1,0 +1,9 @@
+//! Table II: arithmetic unit catalog.
+use compstat_bench::{experiments, print_report};
+
+fn main() {
+    print_report(
+        "Table II: resource utilization of individual arithmetic units",
+        &experiments::table2_report(),
+    );
+}

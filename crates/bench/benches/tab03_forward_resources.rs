@@ -1,0 +1,9 @@
+//! Table III: forward-unit resources.
+use compstat_bench::{experiments, print_report};
+
+fn main() {
+    print_report(
+        "Table III: resource use of forward algorithm units (model vs paper)",
+        &experiments::table3_report(),
+    );
+}

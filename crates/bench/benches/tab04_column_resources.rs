@@ -1,0 +1,9 @@
+//! Table IV: column-unit resources + SLR packing.
+use compstat_bench::{experiments, print_report};
+
+fn main() {
+    print_report(
+        "Table IV: resource use of column units (model vs paper)",
+        &experiments::table4_report(),
+    );
+}

@@ -1,0 +1,170 @@
+//! Ablation studies beyond the paper's headline figures, exercising the
+//! design choices DESIGN.md calls out:
+//!
+//! * **ES sweep** — accuracy of every posit(64, ES) configuration across
+//!   magnitudes (extends Table I + Figure 3 to the full ES ladder);
+//! * **LSE variants** — the literal Equation (2) hardware dataflow vs the
+//!   `log1p`-fused software LSE;
+//! * **Rescaling baseline** — the Section VII alternative to log-space,
+//!   compared head-to-head with log and posit forward passes.
+
+use crate::Scale;
+use compstat_bigfloat::Context;
+use compstat_core::accuracy::{bucketed_accuracy, ExponentBucket, OpKind};
+use compstat_core::error::measure;
+use compstat_core::report::{fmt_f64, Table};
+use compstat_core::sample::{sample_additions, sample_multiplications};
+use compstat_core::{Cdf, StatFloat};
+use compstat_hmm::{dirichlet_hmm, forward, forward_log, forward_oracle, forward_scaled, uniform_observations};
+use compstat_logspace::LogF64;
+use compstat_posit::{P64E12, P64E15, P64E18, P64E21, P64E6, P64E9};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// ES sweep: median multiply error for every posit(64, ES) in three
+/// representative magnitude bands.
+#[must_use]
+pub fn ablation_es_sweep(scale: Scale) -> String {
+    let n = scale.pick(600, 6_000, 60_000);
+    let ctx = Context::new(256);
+    let mut rng = StdRng::seed_from_u64(0xE5);
+    let corpus = sample_multiplications(&mut rng, n, -10_050, 0, &ctx);
+    let buckets = [
+        ExponentBucket { lo: -100, hi: 1 },
+        ExponentBucket { lo: -2_000, hi: -1_022 },
+        ExponentBucket { lo: -10_000, hi: -6_000 },
+    ];
+    let mut t = Table::new(vec![
+        "format".into(),
+        "median [-100,0]".into(),
+        "median [-2000,-1022)".into(),
+        "median [-10000,-6000)".into(),
+    ]);
+    macro_rules! row {
+        ($ty:ty) => {{
+            let acc = bucketed_accuracy::<$ty>(OpKind::Mul, &corpus, &buckets, -18.5, &ctx);
+            t.row(vec![
+                <$ty as StatFloat>::NAME.into(),
+                acc[0].stats.as_ref().map_or("-".into(), |s| fmt_f64(s.p50, 2)),
+                acc[1].stats.as_ref().map_or("-".into(), |s| fmt_f64(s.p50, 2)),
+                acc[2].stats.as_ref().map_or("-".into(), |s| fmt_f64(s.p50, 2)),
+            ]);
+        }};
+    }
+    row!(P64E6);
+    row!(P64E9);
+    row!(P64E12);
+    row!(P64E15);
+    row!(P64E18);
+    row!(P64E21);
+    format!(
+        "posit ES ladder, multiply accuracy by result magnitude\n\
+         (smaller ES = more precision near 1.0; larger ES = more range; \
+         the paper picks 9/12/18 from this trade-off)\n{}",
+        t.render()
+    )
+}
+
+/// LSE variants: hardware Equation-(2) dataflow vs software `log1p` LSE.
+#[must_use]
+pub fn ablation_lse_variants(scale: Scale) -> String {
+    let n = scale.pick(800, 8_000, 80_000);
+    let ctx = Context::new(256);
+    let mut rng = StdRng::seed_from_u64(0x15E);
+    let corpus = sample_additions(&mut rng, n, -6_000, 0, 60, &ctx);
+    let mut sw = Vec::new();
+    let mut hw = Vec::new();
+    for s in &corpus {
+        let a = LogF64::from_bigfloat(&s.a, &ctx);
+        let b = LogF64::from_bigfloat(&s.b, &ctx);
+        sw.push(measure(&s.exact, &(a + b), &ctx).log10_rel.max(-18.5));
+        hw.push(measure(&s.exact, &a.add_hw_dataflow(b), &ctx).log10_rel.max(-18.5));
+    }
+    let (sw, hw) = (Cdf::new(&sw), Cdf::new(&hw));
+    format!(
+        "binary LSE implementations over {n} additions:\n\
+         software log1p LSE: median {:.2}, p95 {:.2}\n\
+         hardware Eq.(2) dataflow: median {:.2}, p95 {:.2}\n\
+         (the extra rounding in the 3-step dataflow costs well under a decade,\n\
+         so the paper's accuracy conclusions do not hinge on the LSE flavor)\n",
+        sw.quantile(0.5),
+        sw.quantile(0.95),
+        hw.quantile(0.5),
+        hw.quantile(0.95),
+    )
+}
+
+/// Rescaling-forward baseline vs log-space vs posit on a long-sequence
+/// forward pass.
+#[must_use]
+pub fn ablation_scaled_forward(scale: Scale) -> String {
+    let t_len = scale.pick(2_000, 12_000, 100_000);
+    let models = scale.pick(3, 6, 24);
+    let ctx = Context::new(256);
+    let mut rng = StdRng::seed_from_u64(0x5CA1ED);
+    let mut log_e = Vec::new();
+    let mut posit_e = Vec::new();
+    let mut scaled_e = Vec::new();
+    for _ in 0..models {
+        let model = dirichlet_hmm(&mut rng, 6, 12, 0.8);
+        let obs = uniform_observations(&mut rng, 12, t_len);
+        let oracle = forward_oracle(&model, &obs, &ctx);
+        let l = forward_log(&model, &obs);
+        log_e.push(measure(&oracle, &l, &ctx).log10_rel);
+        let p: P64E18 = forward(&model.prepare(), &obs);
+        posit_e.push(measure(&oracle, &p, &ctx).log10_rel);
+        // Rescaling returns ln L in f64; measure the implied likelihood.
+        let s = forward_scaled(&model, &obs);
+        let implied = ctx.exp(&compstat_bigfloat::BigFloat::from_f64(s.ln_likelihood));
+        scaled_e.push(compstat_core::relative_error(&oracle, &implied, &ctx).log10_rel);
+    }
+    let med = |v: &[f64]| Cdf::new(v).quantile(0.5);
+    format!(
+        "forward algorithm, T={t_len}, {models} models — median log10 rel error:\n\
+         log-space (LSE):      {:.2}\n\
+         rescaling (binary64): {:.2}\n\
+         posit(64,18):         {:.2}\n\
+         (rescaling is a strong accuracy baseline for the forward algorithm —\n\
+         alpha stays near 1 with full 53-bit precision — but it adds a\n\
+         divide-and-normalize pass per iteration and, as Section VII notes,\n\
+         fails on LoFreq where per-column magnitudes span 2^-434916..1)\n",
+        med(&log_e),
+        med(&scaled_e),
+        med(&posit_e),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn es_sweep_shows_the_range_precision_trade() {
+        let r = ablation_es_sweep(Scale::Quick);
+        assert!(r.contains("posit(64,6)"));
+        assert!(r.contains("posit(64,21)"));
+    }
+
+    #[test]
+    fn lse_variants_are_close() {
+        let r = ablation_lse_variants(Scale::Quick);
+        assert!(r.contains("software log1p"));
+    }
+
+    #[test]
+    fn scaled_forward_report_orders_formats() {
+        let r = ablation_scaled_forward(Scale::Quick);
+        assert!(r.contains("rescaling"));
+        // Parse the three medians and check posit wins.
+        let grab = |tag: &str| -> f64 {
+            r.lines()
+                .find(|l| l.contains(tag))
+                .and_then(|l| l.split_whitespace().last())
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(f64::NAN)
+        };
+        let log = grab("log-space (LSE):");
+        let posit = grab("posit(64,18):");
+        assert!(posit < log, "posit {posit} must beat log {log}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 6: forward-algorithm unit wall-clock performance (model),
+//! posit vs logarithm, H in {13, 32, 64, 128}, T = 500,000.
+
+use compstat_core::report::{fmt_f64, Table};
+use compstat_fpga::{Design, ForwardUnit};
+
+/// Paper-reported Figure 6(a) values for comparison.
+const PAPER: [(u64, f64, f64); 4] =
+    [(13, 0.14, 0.21), (32, 0.17, 0.25), (64, 0.25, 0.32), (128, 0.55, 0.66)];
+
+/// Renders Figure 6(a) (seconds) and 6(b) (relative improvement).
+#[must_use]
+pub fn figure6_report(t_sites: u64) -> String {
+    let mut t = Table::new(vec![
+        "H".into(),
+        "posit s (model)".into(),
+        "log s (model)".into(),
+        "improvement (model)".into(),
+        "posit s (paper)".into(),
+        "log s (paper)".into(),
+        "improvement (paper)".into(),
+    ]);
+    for (h, paper_p, paper_l) in PAPER {
+        let p = ForwardUnit::new(Design::Posit64Es18, h).wall_clock_seconds(t_sites);
+        let l = ForwardUnit::new(Design::LogSpace, h).wall_clock_seconds(t_sites);
+        t.row(vec![
+            h.to_string(),
+            fmt_f64(p, 3),
+            fmt_f64(l, 3),
+            format!("{:.1}%", (l - p) / l * 100.0),
+            fmt_f64(paper_p, 2),
+            fmt_f64(paper_l, 2),
+            format!("{:.1}%", (paper_l - paper_p) / paper_l * 100.0),
+        ]);
+    }
+    format!("T = {t_sites} observation sites, 300 MHz\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_all_h_values_and_positive_improvements() {
+        let r = figure6_report(500_000);
+        for h in ["13", "32", "64", "128"] {
+            assert!(r.lines().any(|l| l.starts_with(h)), "missing H={h}");
+        }
+        // Every improvement positive.
+        for line in r.lines().skip(3) {
+            if let Some(imp) = line.split_whitespace().nth(3) {
+                if let Some(v) = imp.strip_suffix('%') {
+                    let v: f64 = v.parse().unwrap();
+                    assert!(v > 0.0, "non-positive improvement in {line}");
+                }
+            }
+        }
+    }
+}

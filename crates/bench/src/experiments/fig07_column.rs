@@ -1,0 +1,102 @@
+//! Figures 7 and 8: column-unit wall-clock times on the eight synthetic
+//! SARS-CoV-2-style datasets, and MMAPS per CLB.
+
+use compstat_core::report::{fmt_f64, Table};
+use compstat_fpga::{perf_per_resource, ColumnUnit, Design};
+use compstat_pbd::perf_datasets;
+
+fn dims(ds: &compstat_pbd::DatasetSpec) -> Vec<(u64, u64)> {
+    ds.columns.iter().map(|c| (c.n, c.k)).collect()
+}
+
+/// Figure 7: wall-clock execution time per dataset, posit vs log, and
+/// the relative improvement.
+#[must_use]
+pub fn figure7_report() -> String {
+    let posit = ColumnUnit::new(Design::Posit64Es12, 8);
+    let log = ColumnUnit::new(Design::LogSpace, 8);
+    let mut t = Table::new(vec![
+        "Dataset".into(),
+        "columns".into(),
+        "mean N".into(),
+        "posit s".into(),
+        "log s".into(),
+        "improvement".into(),
+    ]);
+    for ds in perf_datasets() {
+        let cols = dims(&ds);
+        let p = posit.dataset_seconds(&cols);
+        let l = log.dataset_seconds(&cols);
+        t.row(vec![
+            ds.name.clone(),
+            ds.num_columns().to_string(),
+            format!("{:.0}", ds.mean_n()),
+            fmt_f64(p, 0),
+            fmt_f64(l, 0),
+            format!("{:.1}%", (l - p) / l * 100.0),
+        ]);
+    }
+    format!(
+        "8 PEs per unit, 300 MHz (paper posit times span ~2,269..24,010 s; improvements 5-25%)\n{}",
+        t.render()
+    )
+}
+
+/// Figure 8: MMAPS per CLB unit per dataset.
+#[must_use]
+pub fn figure8_report() -> String {
+    let posit = ColumnUnit::new(Design::Posit64Es12, 8);
+    let log = ColumnUnit::new(Design::LogSpace, 8);
+    let mut t = Table::new(vec![
+        "Dataset".into(),
+        "ops (N*K sum)".into(),
+        "posit MMAPS/CLB".into(),
+        "log MMAPS/CLB".into(),
+        "ratio".into(),
+    ]);
+    for ds in perf_datasets() {
+        let cols = dims(&ds);
+        let p = perf_per_resource(&posit, &cols);
+        let l = perf_per_resource(&log, &cols);
+        t.row(vec![
+            ds.name.clone(),
+            format!("{:.2e}", p.total_ops as f64),
+            fmt_f64(p.mmaps_per_clb, 3),
+            fmt_f64(l.mmaps_per_clb, 3),
+            format!("{:.2}x", p.mmaps_per_clb / l.mmaps_per_clb),
+        ]);
+    }
+    format!("paper: posit sustains ~2x MMAPS per CLB on all datasets\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_posit_faster_on_every_dataset() {
+        let r = figure7_report();
+        assert!(r.contains("D0") && r.contains("D7"));
+        // All improvements strictly positive and under 40%.
+        for line in r.lines() {
+            // Data rows look like "D3  ..."; skip the "Dataset" header.
+            if line.starts_with('D') && line.chars().nth(1).is_some_and(|c| c.is_ascii_digit()) {
+                let imp = line.split_whitespace().last().unwrap();
+                let v: f64 = imp.strip_suffix('%').unwrap().parse().unwrap();
+                assert!(v > 3.0 && v < 40.0, "improvement {v}% in {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure8_ratio_near_two() {
+        let r = figure8_report();
+        for line in r.lines() {
+            if line.starts_with('D') && line.chars().nth(1).is_some_and(|c| c.is_ascii_digit()) {
+                let ratio = line.split_whitespace().last().unwrap();
+                let v: f64 = ratio.strip_suffix('x').unwrap().parse().unwrap();
+                assert!((1.5..3.2).contains(&v), "ratio {v} in {line}");
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Figure 11: CDFs of final p-value relative error in LoFreq, split into
+//! critical (p < 2^-200) and non-critical columns.
+
+use crate::experiments::fig09_pvalues::{corpus_for, evaluate_corpus, FORMATS};
+use crate::Scale;
+use compstat_bigfloat::Context;
+use compstat_core::report::{fmt_f64, Table};
+use compstat_core::{Cdf, ErrorClass};
+use compstat_pbd::CRITICAL_EXP;
+
+/// Renders both panels: CDF points per format for critical and
+/// non-critical columns.
+#[must_use]
+pub fn figure11_report(scale: Scale) -> String {
+    let ctx = Context::new(256);
+    let corpus = corpus_for(scale);
+    let evals = evaluate_corpus(&corpus, &ctx);
+
+    let mut out = String::new();
+    for (panel, critical) in [("(a) p-values < 2^-200 (critical)", true), ("(b) p-values >= 2^-200", false)] {
+        let mut per_format: Vec<Vec<f64>> = vec![Vec::new(); FORMATS.len()];
+        for e in &evals {
+            let Some(exp) = e.oracle_exp else { continue };
+            if (exp < CRITICAL_EXP) != critical {
+                continue;
+            }
+            for (fi, (_, m)) in e.errors.iter().enumerate() {
+                match m.class {
+                    ErrorClass::Exact => per_format[fi].push(-18.5),
+                    ErrorClass::Normal => per_format[fi].push(m.log10_rel),
+                    // Underflows count as error 1 (log10 = 0) in the CDF.
+                    ErrorClass::UnderflowToZero => per_format[fi].push(0.0),
+                    ErrorClass::Invalid => {}
+                }
+            }
+        }
+        let cdfs: Vec<Cdf> = per_format.iter().map(|v| Cdf::new(v)).collect();
+        let mut t = Table::new(
+            std::iter::once("log10 rel err <=".to_string())
+                .chain(FORMATS.iter().map(|f| (*f).to_string()))
+                .collect(),
+        );
+        for x in [-16.0, -14.0, -12.0, -10.0, -8.0, -6.0] {
+            let mut row = vec![fmt_f64(x, 0)];
+            for c in &cdfs {
+                row.push(if c.is_empty() {
+                    "-".into()
+                } else {
+                    fmt_f64(c.fraction_at_most(x), 3)
+                });
+            }
+            t.row(row);
+        }
+        let n = cdfs.iter().map(Cdf::len).max().unwrap_or(0);
+        out.push_str(&format!("{panel} — {n} columns\n{}\n", t.render()));
+        if critical && !cdfs[3].is_empty() && !cdfs[1].is_empty() {
+            out.push_str(&format!(
+                "rel err < 1e-10: posit(64,12) {:.1}%, Log {:.1}% (paper: 99% vs 60%)\n\n",
+                cdfs[3].fraction_at_most(-10.0) * 100.0,
+                cdfs[1].fraction_at_most(-10.0) * 100.0
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_panel_shows_posit_advantage() {
+        let ctx = Context::new(256);
+        let corpus = corpus_for(Scale::Quick);
+        let evals = evaluate_corpus(&corpus, &ctx);
+        // On critical columns the posit(64,12) error distribution must be
+        // left of (better than) the Log distribution at the median.
+        let collect = |fi: usize| -> Vec<f64> {
+            evals
+                .iter()
+                .filter(|e| e.oracle_exp.is_some_and(|x| x < CRITICAL_EXP))
+                .filter_map(|e| match e.errors[fi].1.class {
+                    ErrorClass::Normal => Some(e.errors[fi].1.log10_rel),
+                    ErrorClass::Exact => Some(-18.5),
+                    ErrorClass::UnderflowToZero => Some(0.0),
+                    ErrorClass::Invalid => None,
+                })
+                .collect()
+        };
+        let log = Cdf::new(&collect(1));
+        let posit12 = Cdf::new(&collect(3));
+        assert!(log.len() > 5, "need critical columns");
+        assert!(
+            posit12.quantile(0.5) < log.quantile(0.5),
+            "posit(64,12) median {} vs Log {}",
+            posit12.quantile(0.5),
+            log.quantile(0.5)
+        );
+    }
+
+    #[test]
+    fn report_renders_both_panels() {
+        let r = figure11_report(Scale::Quick);
+        assert!(r.contains("(a)"));
+        assert!(r.contains("(b)"));
+        assert!(r.contains("posit(64,18)"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Model-driven tables and figures: Table I (format ranges), Table II
+//! (arithmetic units), Figure 4 (PE latency), Figure 5 (timeline),
+//! Tables III/IV (accelerator resources, model vs paper).
+
+use compstat_core::report::{fmt_reduction, Table};
+use compstat_fpga::{
+    column_pe, column_unit_resources, forward_pe, forward_unit_resources, paper_column_rows,
+    paper_forward_rows, render_timeline, simulate_forward, table2_units, units_per_slr,
+    ColumnUnit, Design, ForwardUnit,
+};
+use compstat_posit::FormatInfo;
+
+/// Table I: dynamic range and precision of the number formats.
+#[must_use]
+pub fn table1_report() -> String {
+    let mut t = Table::new(vec![
+        "Format".into(),
+        "useed".into(),
+        "Smallest positive".into(),
+        "Max fraction bits".into(),
+    ]);
+    t.row(vec!["binary64".into(), "-".into(), "2^-1074".into(), "52".into()]);
+    for es in [6u32, 9, 12, 15, 18, 21] {
+        let info = FormatInfo::new(64, es);
+        t.row(vec![
+            format!("posit(64,{es})"),
+            format!("2^{}", info.useed_log2()),
+            format!("2^{}", info.min_positive_exp()),
+            info.max_fraction_bits().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Table II: per-unit resource/latency catalog (the model's calibration
+/// constants, printed alongside the software per-op cost measured here).
+#[must_use]
+pub fn table2_report() -> String {
+    let mut t = Table::new(vec![
+        "Arithmetic Unit".into(),
+        "LUT".into(),
+        "Register".into(),
+        "DSP".into(),
+        "Cycles".into(),
+        "Fmax (MHz)".into(),
+    ]);
+    for u in table2_units() {
+        t.row(vec![
+            u.name.into(),
+            u.lut.to_string(),
+            u.register.to_string(),
+            u.dsp.to_string(),
+            u.cycles.to_string(),
+            u.fmax_mhz.to_string(),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str("\nkey ratios: LSE/binary64-add latency = ");
+    out.push_str(&format!(
+        "{:.1}x, LUT = {:.1}x (the paper's '10x slower, ~8x LUTs/FFs')\n",
+        64.0 / 6.0,
+        5_076.0 / 679.0
+    ));
+    out
+}
+
+/// Figure 4: PE stage structure and the latency formulas.
+#[must_use]
+pub fn figure4_report() -> String {
+    let mut out = String::new();
+    for design in [Design::LogSpace, Design::Posit64Es18] {
+        let pe = forward_pe(design, 64);
+        out.push_str(&format!("{} (H=64):\n", pe.name));
+        for s in &pe.stages {
+            out.push_str(&format!("  {:<55} {:>3} cycles\n", s.name, s.latency));
+        }
+        out.push_str(&format!("  total: {} cycles\n\n", pe.latency()));
+    }
+    let mut t = Table::new(vec![
+        "H".into(),
+        "log PE (62+9log2H)".into(),
+        "posit PE (24+8log2H)".into(),
+        "reduction (38+log2H)".into(),
+    ]);
+    for h in [13u64, 32, 64, 128] {
+        let l = forward_pe(Design::LogSpace, h).latency();
+        let p = forward_pe(Design::Posit64Es18, h).latency();
+        t.row(vec![h.to_string(), l.to_string(), p.to_string(), (l - p).to_string()]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\ncolumn-unit PEs: log {} cycles, posit {} cycles (paper: 73 vs 30)\n",
+        column_pe(Design::LogSpace).latency(),
+        column_pe(Design::Posit64Es12).latency()
+    ));
+    out
+}
+
+/// Figure 5: execution timeline trace from the event simulator.
+#[must_use]
+pub fn figure5_report() -> String {
+    let mut out = String::new();
+    for design in [Design::LogSpace, Design::Posit64Es18] {
+        let unit = ForwardUnit::new(design, 13);
+        let events = simulate_forward(&unit, 6);
+        out.push_str(&format!(
+            "{} forward unit, H=13 (prefetch-bound: {}):\n{}\n",
+            design.name(),
+            unit.is_prefetch_bound(),
+            render_timeline(&events, 6)
+        ));
+    }
+    out
+}
+
+/// Table III: forward-unit resources, model vs paper.
+#[must_use]
+pub fn table3_report() -> String {
+    let mut t = Table::new(vec![
+        "Design".into(),
+        "H".into(),
+        "CLB".into(),
+        "LUT".into(),
+        "Register".into(),
+        "DSP".into(),
+        "SRAM".into(),
+        "Fmax".into(),
+        "source".into(),
+    ]);
+    for h in [13u64, 32, 64, 128] {
+        for design in [Design::LogSpace, Design::Posit64Es18] {
+            let unit = ForwardUnit::new(design, h);
+            let m = forward_unit_resources(&unit);
+            t.row(vec![
+                design.name().into(),
+                h.to_string(),
+                m.clb.to_string(),
+                m.lut.to_string(),
+                m.register.to_string(),
+                m.dsp.to_string(),
+                m.sram.to_string(),
+                format!("{:.0}", unit.max_clock_mhz()),
+                "model".into(),
+            ]);
+            if let Some(row) =
+                paper_forward_rows().iter().find(|r| r.design == design && r.param == h)
+            {
+                t.row(vec![
+                    "".into(),
+                    "".into(),
+                    row.resources.clb.to_string(),
+                    row.resources.lut.to_string(),
+                    row.resources.register.to_string(),
+                    row.resources.dsp.to_string(),
+                    row.resources.sram.to_string(),
+                    row.fmax_mhz.to_string(),
+                    "paper".into(),
+                ]);
+            }
+        }
+        // Reduction row (model).
+        let l = forward_unit_resources(&ForwardUnit::new(Design::LogSpace, h));
+        let p = forward_unit_resources(&ForwardUnit::new(Design::Posit64Es18, h));
+        t.row(vec![
+            "Reduction".into(),
+            h.to_string(),
+            fmt_reduction(l.clb as f64, p.clb as f64),
+            fmt_reduction(l.lut as f64, p.lut as f64),
+            fmt_reduction(l.register as f64, p.register as f64),
+            fmt_reduction(l.dsp as f64, p.dsp as f64),
+            fmt_reduction(l.sram as f64, p.sram as f64),
+            "".into(),
+            "model".into(),
+        ]);
+    }
+    t.render()
+}
+
+/// Table IV: column-unit resources, model vs paper, plus the SLR packing
+/// claim of Section VI-C.
+#[must_use]
+pub fn table4_report() -> String {
+    let mut t = Table::new(vec![
+        "Design".into(),
+        "PEs".into(),
+        "CLB".into(),
+        "LUT".into(),
+        "Register".into(),
+        "DSP".into(),
+        "SRAM".into(),
+        "source".into(),
+    ]);
+    for design in [Design::LogSpace, Design::Posit64Es12] {
+        let unit = ColumnUnit::new(design, 8);
+        let m = column_unit_resources(&unit);
+        t.row(vec![
+            design.name().into(),
+            "8".into(),
+            m.clb.to_string(),
+            m.lut.to_string(),
+            m.register.to_string(),
+            m.dsp.to_string(),
+            m.sram.to_string(),
+            "model".into(),
+        ]);
+        if let Some(row) = paper_column_rows().iter().find(|r| r.design == design) {
+            t.row(vec![
+                "".into(),
+                "8".into(),
+                row.resources.clb.to_string(),
+                row.resources.lut.to_string(),
+                row.resources.register.to_string(),
+                row.resources.dsp.to_string(),
+                row.resources.sram.to_string(),
+                "paper".into(),
+            ]);
+        }
+    }
+    let l = column_unit_resources(&ColumnUnit::new(Design::LogSpace, 8));
+    let p = column_unit_resources(&ColumnUnit::new(Design::Posit64Es12, 8));
+    t.row(vec![
+        "Reduction".into(),
+        "-".into(),
+        fmt_reduction(l.clb as f64, p.clb as f64),
+        fmt_reduction(l.lut as f64, p.lut as f64),
+        fmt_reduction(l.register as f64, p.register as f64),
+        fmt_reduction(l.dsp as f64, p.dsp as f64),
+        "-".into(),
+        "model".into(),
+    ]);
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\nSLR packing (paper CLB counts): {} log-based vs {} posit-based column units per SLR\n",
+        units_per_slr(paper_column_rows()[0].resources.clb),
+        units_per_slr(paper_column_rows()[1].resources.clb),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_table_one_values() {
+        let r = table1_report();
+        assert!(r.contains("2^-31744"));
+        assert!(r.contains("2^-16252928"));
+        assert!(r.contains("posit(64,21)"));
+    }
+
+    #[test]
+    fn table2_lists_all_units() {
+        let r = table2_report();
+        for name in ["binary64 add", "Log add", "posit(64,12) add", "posit(64,18) mul"] {
+            assert!(r.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn figure4_shows_formulas() {
+        let r = figure4_report();
+        assert!(r.contains("116")); // log PE at H=64: 62+9*6
+        assert!(r.contains("72")); // posit PE at H=64: 24+8*6
+        assert!(r.contains("73 vs 30") || r.contains("log 73"));
+    }
+
+    #[test]
+    fn figure5_renders_two_timelines() {
+        let r = figure5_report();
+        assert!(r.matches("outer").count() >= 2);
+        assert!(r.contains("prefetch-bound: true"));
+    }
+
+    #[test]
+    fn tables_3_and_4_have_model_and_paper_rows() {
+        let r3 = table3_report();
+        assert!(r3.contains("model"));
+        assert!(r3.contains("paper"));
+        assert!(r3.contains("68966")); // paper LUT at H=13
+        let r4 = table4_report();
+        assert!(r4.contains("75894"));
+        assert!(r4.contains("per SLR"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # compstat-bench
+//!
+//! The experiment harness: one function per table/figure of the paper,
+//! each returning a printable text report. The `benches/` targets are
+//! thin wrappers so `cargo bench` regenerates the entire evaluation;
+//! unit tests run every experiment at a reduced scale.
+//!
+//! Workload sizes honor the `COMPSTAT_SCALE` environment variable:
+//! `quick` (CI smoke), `default`, or `full` (paper-scale sample counts
+//! where feasible). EXPERIMENTS.md records paper-vs-measured values.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod scale;
+
+pub use scale::Scale;
+
+/// Prints a report with a separating banner (used by bench targets).
+pub fn print_report(title: &str, body: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+    println!("{body}");
+}

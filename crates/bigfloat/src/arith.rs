@@ -1,0 +1,518 @@
+//! Correctly-rounded arithmetic: add, sub, mul, div.
+//!
+//! All operations round to the precision of the [`Context`] (round to
+//! nearest, ties to even) in a single rounding step — there is no double
+//! rounding. Working arrays keep at least `prec + 66` bits plus a sticky
+//! bit, which is sufficient for correct RNE results of `+ - * /`.
+
+use crate::limb;
+use crate::repr::{BigFloat, Kind, Sign, DEFAULT_PREC, MAX_PREC, MIN_PREC};
+
+/// An arithmetic context carrying the target precision.
+///
+/// Mirrors MPFR's model: every operation rounds its mathematically exact
+/// result to `prec` significant bits.
+///
+/// # Examples
+///
+/// ```
+/// use compstat_bigfloat::{BigFloat, Context};
+///
+/// let ctx = Context::new(256);
+/// let a = BigFloat::pow2(-120_000);
+/// let b = ctx.mul(&a, &a);
+/// assert_eq!(b.exponent(), Some(-240_000));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Context {
+    prec: u32,
+}
+
+impl Context {
+    /// Creates a context with the given precision in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prec` is outside `[2, 16384]`.
+    #[must_use]
+    pub fn new(prec: u32) -> Context {
+        assert!((MIN_PREC..=MAX_PREC).contains(&prec), "precision {prec} out of [2, 16384]");
+        Context { prec }
+    }
+
+    /// The context's precision in bits.
+    #[must_use]
+    pub fn prec(&self) -> u32 {
+        self.prec
+    }
+
+    /// Addition, correctly rounded to the context precision.
+    #[must_use]
+    pub fn add(&self, a: &BigFloat, b: &BigFloat) -> BigFloat {
+        add_signed(a, b, false, self.prec)
+    }
+
+    /// Subtraction, correctly rounded to the context precision.
+    #[must_use]
+    pub fn sub(&self, a: &BigFloat, b: &BigFloat) -> BigFloat {
+        add_signed(a, b, true, self.prec)
+    }
+
+    /// Multiplication, correctly rounded to the context precision.
+    #[must_use]
+    pub fn mul(&self, a: &BigFloat, b: &BigFloat) -> BigFloat {
+        mul_impl(a, b, self.prec)
+    }
+
+    /// Division, correctly rounded to the context precision.
+    #[must_use]
+    pub fn div(&self, a: &BigFloat, b: &BigFloat) -> BigFloat {
+        div_impl(a, b, self.prec)
+    }
+
+    /// Sums a sequence left-to-right, rounding after each partial sum
+    /// (the same associativity a software loop over `+=` would have).
+    #[must_use]
+    pub fn sum<'a, I: IntoIterator<Item = &'a BigFloat>>(&self, values: I) -> BigFloat {
+        let mut acc = BigFloat::zero();
+        for v in values {
+            acc = self.add(&acc, v);
+        }
+        acc
+    }
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Context { prec: DEFAULT_PREC }
+    }
+}
+
+fn nlimbs(prec: u32) -> usize {
+    ((prec + limb::LIMB_BITS - 1) / limb::LIMB_BITS) as usize
+}
+
+/// Places `src` (normalized: top bit of last limb set) into a fresh array
+/// of `wl` limbs with its top bit at bit index `wl*64 - 2` (one headroom
+/// bit below the array MSB).
+fn place_with_headroom(src: &[u64], wl: usize) -> Vec<u64> {
+    debug_assert!(wl >= src.len() + 1);
+    let mut arr = vec![0u64; wl];
+    // Copy into the high limbs, then shift right by 1 to create headroom.
+    arr[wl - src.len()..].copy_from_slice(src);
+    let sticky = limb::shr_in_place_sticky(&mut arr, 1);
+    debug_assert!(!sticky, "normalized operand had a set LSB beyond range");
+    arr
+}
+
+fn add_signed(a: &BigFloat, b: &BigFloat, negate_b: bool, prec: u32) -> BigFloat {
+    let (sa, ka, ea, la, _) = a.parts();
+    let (sb0, kb, eb, lb, _) = b.parts();
+    let sb = if negate_b && !matches!(kb, Kind::Zero | Kind::Nan) { sb0.negate() } else { sb0 };
+    match (ka, kb) {
+        (Kind::Nan, _) | (_, Kind::Nan) => return BigFloat::special(Kind::Nan, Sign::Pos, prec),
+        (Kind::Inf, Kind::Inf) => {
+            return if sa == sb {
+                BigFloat::special(Kind::Inf, sa, prec)
+            } else {
+                BigFloat::special(Kind::Nan, Sign::Pos, prec)
+            };
+        }
+        (Kind::Inf, _) => return BigFloat::special(Kind::Inf, sa, prec),
+        (_, Kind::Inf) => return BigFloat::special(Kind::Inf, sb, prec),
+        (Kind::Zero, Kind::Zero) => return BigFloat::special(Kind::Zero, Sign::Pos, prec),
+        (Kind::Zero, Kind::Normal) => {
+            let r = b.round_to(prec);
+            return if negate_b { r.neg() } else { r };
+        }
+        (Kind::Normal, Kind::Zero) => return a.round_to(prec),
+        (Kind::Normal, Kind::Normal) => {}
+    }
+
+    // Order so that |x| >= |y|.
+    let a_larger = match ea.cmp(&eb) {
+        core::cmp::Ordering::Greater => true,
+        core::cmp::Ordering::Less => false,
+        core::cmp::Ordering::Equal => cmp_magnitude(la, lb) != core::cmp::Ordering::Less,
+    };
+    let (sx, ex, lx, sy, ey, ly) =
+        if a_larger { (sa, ea, la, sb, eb, lb) } else { (sb, eb, lb, sa, ea, la) };
+
+    let wl = lx.len().max(ly.len()).max(nlimbs(prec)) + 2;
+    let top_pos = wl as u64 * 64 - 2;
+    let ax = place_with_headroom(lx, wl);
+    let mut ay = place_with_headroom(ly, wl);
+    // ex >= ey by construction; the difference can still overflow i64 for
+    // astronomically separated exponents, which simply means "y is dust".
+    let d = ex.checked_sub(ey).map(|d| d as u64);
+    let sticky_y = match d {
+        Some(d) if d <= top_pos => limb::shr_in_place_sticky(&mut ay, d as u32),
+        _ => {
+            ay.fill(0);
+            true
+        }
+    };
+
+    let same_sign = sx == sy;
+    let mut out = vec![0u64; wl];
+    let mut sticky = sticky_y;
+    if same_sign {
+        let carry = limb::add_same_len(&ax, &ay, &mut out);
+        debug_assert!(!carry, "headroom bit absorbed the carry");
+    } else {
+        // |x| >= |y_shifted| (strictly, unless d == 0 where sticky_y is
+        // false). Equal magnitudes cancel to zero.
+        if limb::cmp_same_len(&ax, &ay) == core::cmp::Ordering::Equal && !sticky_y {
+            return BigFloat::special(Kind::Zero, Sign::Pos, prec);
+        }
+        let borrow = limb::sub_same_len(&ax, &ay, &mut out);
+        debug_assert!(!borrow, "subtrahend exceeded minuend");
+        if sticky_y {
+            // True result is out - epsilon with epsilon in (0,1) units of
+            // the array LSB; re-expressing as (out-1) + (1-epsilon) keeps
+            // the residue positive so the sticky bit rounds correctly.
+            let mut one = vec![0u64; wl];
+            one[0] = 1;
+            let mut dec = vec![0u64; wl];
+            let borrow = limb::sub_same_len(&out, &one, &mut dec);
+            debug_assert!(!borrow);
+            out = dec;
+            sticky = true;
+        }
+    }
+
+    let Some(h) = limb::highest_bit(&out) else {
+        return BigFloat::special(Kind::Zero, Sign::Pos, prec);
+    };
+    let exp_of_top = ex - (top_pos as i64 - h as i64);
+    BigFloat::from_raw(sx, exp_of_top, out, sticky, prec)
+}
+
+fn cmp_magnitude(a: &[u64], b: &[u64]) -> core::cmp::Ordering {
+    // Both normalized with the top bit of the last limb set; compare from
+    // the top down, treating the shorter as zero-extended at the bottom.
+    let mut i = a.len();
+    let mut j = b.len();
+    while i > 0 && j > 0 {
+        i -= 1;
+        j -= 1;
+        match a[i].cmp(&b[j]) {
+            core::cmp::Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    while i > 0 {
+        i -= 1;
+        if a[i] != 0 {
+            return core::cmp::Ordering::Greater;
+        }
+    }
+    while j > 0 {
+        j -= 1;
+        if b[j] != 0 {
+            return core::cmp::Ordering::Less;
+        }
+    }
+    core::cmp::Ordering::Equal
+}
+
+fn mul_impl(a: &BigFloat, b: &BigFloat, prec: u32) -> BigFloat {
+    let (sa, ka, ea, la, _) = a.parts();
+    let (sb, kb, eb, lb, _) = b.parts();
+    let sign = sa.xor(sb);
+    match (ka, kb) {
+        (Kind::Nan, _) | (_, Kind::Nan) => return BigFloat::special(Kind::Nan, Sign::Pos, prec),
+        (Kind::Inf, Kind::Zero) | (Kind::Zero, Kind::Inf) => {
+            return BigFloat::special(Kind::Nan, Sign::Pos, prec)
+        }
+        (Kind::Inf, _) | (_, Kind::Inf) => return BigFloat::special(Kind::Inf, sign, prec),
+        (Kind::Zero, _) | (_, Kind::Zero) => return BigFloat::special(Kind::Zero, Sign::Pos, prec),
+        (Kind::Normal, Kind::Normal) => {}
+    }
+    let mut out = vec![0u64; la.len() + lb.len()];
+    limb::mul(la, lb, &mut out);
+    let top_a = la.len() as i64 * 64 - 1;
+    let top_b = lb.len() as i64 * 64 - 1;
+    let h = limb::highest_bit(&out).expect("product of normals is nonzero");
+    let exp_of_top = match ea.checked_add(eb) {
+        Some(e) => e - top_a - top_b + h as i64,
+        None => {
+            return if (ea > 0) == (eb > 0) {
+                // Both huge in the same direction: overflow.
+                if ea > 0 {
+                    BigFloat::special(Kind::Inf, sign, prec)
+                } else {
+                    BigFloat::special(Kind::Zero, Sign::Pos, prec)
+                }
+            } else {
+                // Opposite huge exponents cancel; cannot overflow i64 in
+                // practice because |ea|,|eb| <= i64::MAX/2 is enforced
+                // nowhere, but reaching here requires astronomic inputs.
+                BigFloat::special(Kind::Nan, Sign::Pos, prec)
+            };
+        }
+    };
+    BigFloat::from_raw(sign, exp_of_top, out, false, prec)
+}
+
+fn div_impl(a: &BigFloat, b: &BigFloat, prec: u32) -> BigFloat {
+    let (sa, ka, ea, la, _) = a.parts();
+    let (sb, kb, eb, lb, _) = b.parts();
+    let sign = sa.xor(sb);
+    match (ka, kb) {
+        (Kind::Nan, _) | (_, Kind::Nan) => return BigFloat::special(Kind::Nan, Sign::Pos, prec),
+        (Kind::Inf, Kind::Inf) => return BigFloat::special(Kind::Nan, Sign::Pos, prec),
+        (Kind::Inf, _) => return BigFloat::special(Kind::Inf, sign, prec),
+        (_, Kind::Inf) => return BigFloat::special(Kind::Zero, Sign::Pos, prec),
+        (Kind::Zero, Kind::Zero) => return BigFloat::special(Kind::Nan, Sign::Pos, prec),
+        (Kind::Zero, Kind::Normal) => return BigFloat::special(Kind::Zero, Sign::Pos, prec),
+        (Kind::Normal, Kind::Zero) => return BigFloat::special(Kind::Inf, sign, prec),
+        (Kind::Normal, Kind::Normal) => {}
+    }
+
+    // Restoring binary long division on magnitudes aligned to a common
+    // width, producing prec + 3 quotient bits plus an exact sticky.
+    let wl = la.len().max(lb.len()) + 1;
+    let mut r = vec![0u64; wl];
+    let mut den = vec![0u64; wl];
+    // Align both tops to bit wl*64 - 2 (headroom for the shift).
+    r[wl - la.len()..].copy_from_slice(la);
+    den[wl - lb.len()..].copy_from_slice(lb);
+    limb::shr_in_place_sticky(&mut r, 1);
+    limb::shr_in_place_sticky(&mut den, 1);
+
+    let qbits = prec as u64 + 3;
+    let qlimbs = ((qbits + 63) / 64) as usize;
+    let mut q = vec![0u64; qlimbs];
+    let mut tmp = vec![0u64; wl];
+    for i in 0..qbits {
+        if limb::cmp_same_len(&r, &den) != core::cmp::Ordering::Less {
+            let borrow = limb::sub_same_len(&r, &den, &mut tmp);
+            debug_assert!(!borrow);
+            core::mem::swap(&mut r, &mut tmp);
+            limb::add_bit(&mut q, qbits - 1 - i);
+        }
+        limb::shl_in_place(&mut r, 1);
+    }
+    let sticky = !limb::is_zero(&r);
+    let Some(h) = limb::highest_bit(&q) else {
+        // Quotient in (1/2, 2) always produces at least one bit.
+        unreachable!("quotient of normals is nonzero");
+    };
+    // Bit (qbits-1) of q carries weight 2^0 of the aligned ratio.
+    let exp_of_top = ea - eb - (qbits as i64 - 1) + h as i64;
+    BigFloat::from_raw(sign, exp_of_top, q, sticky, prec)
+}
+
+impl core::ops::Neg for &BigFloat {
+    type Output = BigFloat;
+    fn neg(self) -> BigFloat {
+        BigFloat::neg(self)
+    }
+}
+
+macro_rules! bin_op {
+    ($trait:ident, $method:ident, $ctx_method:ident) => {
+        impl core::ops::$trait<&BigFloat> for &BigFloat {
+            type Output = BigFloat;
+            fn $method(self, rhs: &BigFloat) -> BigFloat {
+                let prec = self.precision().max(rhs.precision());
+                Context::new(prec).$ctx_method(self, rhs)
+            }
+        }
+        impl core::ops::$trait<BigFloat> for BigFloat {
+            type Output = BigFloat;
+            fn $method(self, rhs: BigFloat) -> BigFloat {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+bin_op!(Add, add, add);
+bin_op!(Sub, sub, sub);
+bin_op!(Mul, mul, mul);
+bin_op!(Div, div, div);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Context {
+        Context::new(256)
+    }
+
+    #[test]
+    fn add_small_integers() {
+        let c = ctx();
+        let r = c.add(&BigFloat::from_u64(2), &BigFloat::from_u64(3));
+        assert_eq!(r.to_f64(), 5.0);
+    }
+
+    #[test]
+    fn add_matches_f64_on_random_values() {
+        let c = Context::new(53);
+        let cases: [(f64, f64); 8] = [
+            (1.5, 2.25),
+            (0.1, 0.2),
+            (1e300, 1e280),
+            (1e-300, 1e-280),
+            (3.7, -3.7),
+            (1.0, f64::EPSILON / 2.0),
+            (-5.5, 2.25),
+            (123456789.0, 0.000001),
+        ];
+        for (x, y) in cases {
+            let r = c.add(&BigFloat::from_f64(x), &BigFloat::from_f64(y));
+            assert_eq!(r.to_f64(), x + y, "add({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn sub_matches_f64() {
+        let c = Context::new(53);
+        let cases: [(f64, f64); 6] = [
+            (1.5, 2.25),
+            (0.3, 0.1),
+            (1e16, 1.0),
+            (1.0000000000000002, 1.0),
+            (-2.5, -2.5),
+            (1e-308, 1e-309),
+        ];
+        for (x, y) in cases {
+            let r = c.sub(&BigFloat::from_f64(x), &BigFloat::from_f64(y));
+            assert_eq!(r.to_f64(), x - y, "sub({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn mul_matches_f64() {
+        let c = Context::new(53);
+        let cases: [(f64, f64); 6] =
+            [(1.5, 2.25), (0.1, 0.2), (1e150, 1e-150), (-3.0, 7.0), (0.3, 0.3), (1e-200, 1e-120)];
+        for (x, y) in cases {
+            let r = c.mul(&BigFloat::from_f64(x), &BigFloat::from_f64(y));
+            assert_eq!(r.to_f64(), x * y, "mul({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn div_matches_f64() {
+        let c = Context::new(53);
+        let cases: [(f64, f64); 6] =
+            [(1.0, 3.0), (2.0, 7.0), (1e300, 1e-5), (-10.0, 4.0), (0.3, 0.7), (1.0, 10.0)];
+        for (x, y) in cases {
+            let r = c.div(&BigFloat::from_f64(x), &BigFloat::from_f64(y));
+            assert_eq!(r.to_f64(), x / y, "div({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn tiny_probabilities_survive() {
+        // The motivating case: products far below binary64's 2^-1074.
+        let c = ctx();
+        let p = BigFloat::pow2(-100_000);
+        let q = c.mul(&p, &p);
+        assert_eq!(q.exponent(), Some(-200_000));
+        let s = c.add(&q, &q);
+        assert_eq!(s.exponent(), Some(-199_999));
+    }
+
+    #[test]
+    fn catastrophic_cancellation_is_exact() {
+        let c = ctx();
+        let x = BigFloat::from_f64(1.0);
+        let y = c.sub(&x, &BigFloat::pow2(-200));
+        let back = c.sub(&x, &y);
+        assert_eq!(back.exponent(), Some(-200));
+    }
+
+    #[test]
+    fn add_far_apart_keeps_larger_with_sticky() {
+        let c = Context::new(53);
+        let big = BigFloat::from_f64(1.0);
+        let tiny = BigFloat::pow2(-500);
+        let r = c.add(&big, &tiny);
+        // 1 + 2^-500 rounds to 1 at 53 bits...
+        assert_eq!(r.to_f64(), 1.0);
+        // ...but subtracting should reveal it was rounded (sticky made it
+        // round *down* to exactly 1, not up).
+        let r2 = c.sub(&big, &tiny);
+        assert!(r2.to_f64() < 1.0 || r2.to_f64() == 1.0);
+        // At high precision the sum is exact.
+        let c2 = Context::new(600);
+        let r3 = c2.add(&big, &tiny);
+        let diff = c2.sub(&r3, &big);
+        assert_eq!(diff.exponent(), Some(-500));
+    }
+
+    #[test]
+    fn sub_sticky_rounds_toward_zero_correctly() {
+        // x = 1, y = 2^-60 at 10 bits of result precision: 1 - eps must
+        // round to 1 - 2^-10 is wrong; correct RNE answer is 1.0? No:
+        // 1 - 2^-60 is closer to 1 than to the next 10-bit value below
+        // (1 - 2^-10), so it rounds to 1.0.
+        let c = Context::new(10);
+        let r = c.sub(&BigFloat::from_f64(1.0), &BigFloat::pow2(-60));
+        assert_eq!(r.to_f64(), 1.0);
+        // 1 - 2^-11 sits exactly halfway between the 10-bit neighbors
+        // 1 - 2^-10 and 1.0; the tie goes to the even mantissa, 1.0.
+        let r = c.sub(&BigFloat::from_f64(1.0), &BigFloat::pow2(-11));
+        assert_eq!(r.to_f64(), 1.0);
+        // One sticky bit below the midpoint breaks the tie downward.
+        let just_less = &BigFloat::pow2(-11) + &BigFloat::pow2(-40);
+        let r = c.sub(&BigFloat::from_f64(1.0), &just_less);
+        assert_eq!(r.to_f64(), 1.0 - 1.0 / 1024.0);
+    }
+
+    #[test]
+    fn specials_propagate() {
+        let c = ctx();
+        let nan = BigFloat::nan();
+        let inf = BigFloat::infinity(Sign::Pos);
+        let one = BigFloat::one();
+        assert!(c.add(&nan, &one).is_nan());
+        assert!(c.sub(&inf, &inf).is_nan());
+        assert!(c.mul(&inf, &BigFloat::zero()).is_nan());
+        assert!(c.div(&BigFloat::zero(), &BigFloat::zero()).is_nan());
+        assert_eq!(c.div(&one, &BigFloat::zero()).kind(), Kind::Inf);
+        assert!(c.div(&one, &inf).is_zero());
+        assert_eq!(c.add(&inf, &one).kind(), Kind::Inf);
+    }
+
+    #[test]
+    fn div_exact_quotients() {
+        let c = ctx();
+        let r = c.div(&BigFloat::from_u64(10), &BigFloat::from_u64(2));
+        assert_eq!(r.to_f64(), 5.0);
+        let r = c.div(&BigFloat::from_u64(1), &BigFloat::from_u64(1024));
+        assert_eq!(r.to_f64(), 1.0 / 1024.0);
+    }
+
+    #[test]
+    fn div_one_third_round_trips() {
+        let c = ctx();
+        let third = c.div(&BigFloat::one(), &BigFloat::from_u64(3));
+        let back = c.mul(&third, &BigFloat::from_u64(3));
+        // 3 * round(1/3) is within 1 ulp of 1 at 256 bits.
+        let err = c.sub(&back, &BigFloat::one()).abs();
+        assert!(err.is_zero() || err.exponent().unwrap() < -250);
+    }
+
+    #[test]
+    fn operators_use_max_precision() {
+        let a = BigFloat::from_f64(0.1);
+        let b = BigFloat::from_f64(0.2);
+        let s = &a + &b;
+        assert!((s.to_f64() - 0.30000000000000004).abs() < 1e-18);
+        let p = &a * &b;
+        assert!((p.to_f64() - 0.1 * 0.2).abs() < 1e-18);
+    }
+
+    #[test]
+    fn sum_folds_left() {
+        let c = ctx();
+        let xs: Vec<BigFloat> = (1..=10).map(BigFloat::from_u64).collect();
+        assert_eq!(c.sum(xs.iter()).to_f64(), 55.0);
+    }
+}

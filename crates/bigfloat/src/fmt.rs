@@ -1,0 +1,79 @@
+//! Formatting for [`BigFloat`].
+
+use crate::repr::{BigFloat, Kind, Sign};
+use core::fmt;
+
+impl BigFloat {
+    /// Binary-scientific rendering: `±1.dddddd * 2^e` with the significand
+    /// shown to roughly `digits` decimal places.
+    ///
+    /// Unlike full decimal conversion this is cheap even for exponents in
+    /// the millions (e.g. the VICAR likelihood `2^-2_900_000`), which is
+    /// why the paper reports magnitudes as base-2 exponents.
+    #[must_use]
+    pub fn to_sci_string(&self, digits: usize) -> String {
+        match self.kind() {
+            Kind::Zero => return "0".to_string(),
+            Kind::Nan => return "NaN".to_string(),
+            Kind::Inf => {
+                return if self.sign() == Sign::Neg { "-inf".to_string() } else { "inf".to_string() }
+            }
+            Kind::Normal => {}
+        }
+        let e = self.exponent().expect("normal");
+        // Significand in [1,2) as f64 (top 53 bits are plenty for display).
+        let m = self.mul_pow2(-e).to_f64();
+        let sign = if self.sign() == Sign::Neg { "-" } else { "" };
+        format!("{sign}{m:.*} * 2^{e}", digits)
+    }
+}
+
+impl fmt::Display for BigFloat {
+    /// Displays in-range values as their nearest `f64`; values outside
+    /// binary64's range fall back to binary-scientific notation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            Kind::Zero => write!(f, "0"),
+            Kind::Nan => write!(f, "NaN"),
+            Kind::Inf => {
+                write!(f, "{}inf", if self.sign() == Sign::Neg { "-" } else { "" })
+            }
+            Kind::Normal => {
+                let e = self.exponent().expect("normal");
+                if (-1020..=1020).contains(&e) {
+                    write!(f, "{}", self.to_f64())
+                } else {
+                    write!(f, "{}", self.to_sci_string(6))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_in_range() {
+        assert_eq!(BigFloat::from_f64(1.5).to_string(), "1.5");
+        assert_eq!(BigFloat::zero().to_string(), "0");
+        assert_eq!(BigFloat::nan().to_string(), "NaN");
+        assert_eq!(BigFloat::infinity(Sign::Neg).to_string(), "-inf");
+    }
+
+    #[test]
+    fn display_out_of_range_uses_binary_sci() {
+        let x = BigFloat::pow2(-2_900_000);
+        assert_eq!(x.to_string(), "1.000000 * 2^-2900000");
+        // 3 * 2^-100000 = 1.5 * 2^-99999.
+        let y = BigFloat::from_u64(3).mul_pow2(-100_000);
+        assert_eq!(y.to_sci_string(2), "1.50 * 2^-99999");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", BigFloat::zero()).is_empty());
+        assert!(!format!("{:?}", BigFloat::one()).is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for `compstat-bigfloat`.
+//!
+//! The oracle for the oracle: BigFloat at 53-bit precision must agree with
+//! hardware f64 bit-for-bit on every in-range operation, and algebraic
+//! identities must hold at arbitrary precision.
+
+use compstat_bigfloat::{BigFloat, Context};
+use proptest::prelude::*;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    proptest::num::f64::NORMAL | proptest::num::f64::SUBNORMAL | proptest::num::f64::ZERO
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn f64_round_trip(x in finite_f64()) {
+        let b = BigFloat::from_f64(x);
+        // -0.0 collapses to the single zero.
+        let expect = if x == 0.0 { 0.0 } else { x };
+        prop_assert_eq!(b.to_f64(), expect);
+    }
+
+    #[test]
+    fn add_matches_hardware(x in finite_f64(), y in finite_f64()) {
+        let c = Context::new(53);
+        let r = c.add(&BigFloat::from_f64(x), &BigFloat::from_f64(y)).to_f64();
+        let expect = x + y;
+        // BigFloat has unbounded exponent range: results that are f64-
+        // subnormal (double-rounded by hardware) or overflow are the only
+        // legitimate divergence; filter to the pre-rounded comparison.
+        if expect.is_finite() && expect.abs() >= f64::MIN_POSITIVE && (expect == 0.0 || expect.abs() < f64::MAX) {
+            prop_assert_eq!(r, expect, "add({}, {})", x, y);
+        }
+    }
+
+    #[test]
+    fn mul_matches_hardware(x in finite_f64(), y in finite_f64()) {
+        let c = Context::new(53);
+        let r = c.mul(&BigFloat::from_f64(x), &BigFloat::from_f64(y)).to_f64();
+        let expect = x * y;
+        if expect.is_finite() && (expect == 0.0 || expect.abs() >= f64::MIN_POSITIVE) {
+            // Exclude products that are exactly zero from underflow (the
+            // BigFloat product is tiny-but-nonzero there).
+            if expect != 0.0 || x == 0.0 || y == 0.0 {
+                prop_assert_eq!(r, expect, "mul({}, {})", x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn div_matches_hardware(x in finite_f64(), y in finite_f64()) {
+        prop_assume!(y != 0.0);
+        let c = Context::new(53);
+        let r = c.div(&BigFloat::from_f64(x), &BigFloat::from_f64(y)).to_f64();
+        let expect = x / y;
+        if expect.is_finite() && (expect == 0.0 || expect.abs() >= f64::MIN_POSITIVE) {
+            if expect != 0.0 || x == 0.0 {
+                prop_assert_eq!(r, expect, "div({}, {})", x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn add_commutes(x in finite_f64(), y in finite_f64()) {
+        let c = Context::new(200);
+        let a = BigFloat::from_f64(x);
+        let b = BigFloat::from_f64(y);
+        prop_assert!(c.add(&a, &b) == c.add(&b, &a) || (x + y != x + y));
+    }
+
+    #[test]
+    fn mul_commutes(x in finite_f64(), y in finite_f64()) {
+        let c = Context::new(200);
+        let a = BigFloat::from_f64(x);
+        let b = BigFloat::from_f64(y);
+        prop_assert!(c.mul(&a, &b) == c.mul(&b, &a));
+    }
+
+    #[test]
+    fn sub_self_is_zero(x in finite_f64()) {
+        let c = Context::new(128);
+        let a = BigFloat::from_f64(x);
+        prop_assert!(c.sub(&a, &a).is_zero());
+    }
+
+    #[test]
+    fn add_sub_inverse_at_high_precision(
+        mx in 1.0f64..2.0, my in 1.0f64..2.0,
+        ex in -50i32..50, ey in -50i32..50,
+        sx in proptest::bool::ANY, sy in proptest::bool::ANY,
+    ) {
+        // (x + y) - y == x exactly when the working precision holds the
+        // entire aligned sum; magnitudes within 100 binades of each other.
+        let x = if sx { -mx } else { mx } * 2f64.powi(ex);
+        let y = if sy { -my } else { my } * 2f64.powi(ey);
+        let c = Context::new(300);
+        let a = BigFloat::from_f64(x);
+        let b = BigFloat::from_f64(y);
+        let r = c.sub(&c.add(&a, &b), &b);
+        prop_assert!(r == a, "({x} + {y}) - {y}");
+    }
+
+    #[test]
+    fn ordering_matches_f64(x in finite_f64(), y in finite_f64()) {
+        let a = BigFloat::from_f64(x);
+        let b = BigFloat::from_f64(y);
+        let expect = if x == 0.0 && y == 0.0 {
+            Some(core::cmp::Ordering::Equal) // single zero
+        } else {
+            x.partial_cmp(&y)
+        };
+        prop_assert_eq!(a.partial_cmp(&b), expect);
+    }
+
+    #[test]
+    fn mul_pow2_is_exact_scaling(x in finite_f64(), k in -600i64..600) {
+        prop_assume!(x != 0.0);
+        let a = BigFloat::from_f64(x);
+        let scaled = a.mul_pow2(k);
+        prop_assert_eq!(scaled.exponent().unwrap(), a.exponent().unwrap() + k);
+        let back = scaled.mul_pow2(-k);
+        prop_assert!(back == a);
+    }
+
+    #[test]
+    fn ln_exp_round_trip_positive(x in 1e-30f64..1e30) {
+        let c = Context::new(160);
+        let b = BigFloat::from_f64(x);
+        let back = c.exp(&c.ln(&b));
+        let err = (&back - &b).abs();
+        let bound = b.exponent().unwrap() - 150;
+        prop_assert!(err.is_zero() || err.exponent().unwrap() <= bound,
+            "|exp(ln({x})) - {x}| = {err}");
+    }
+
+    #[test]
+    fn ln_is_monotone(x in 1e-200f64..1e200, factor in 1.0000001f64..1e10) {
+        let c = Context::new(128);
+        let a = BigFloat::from_f64(x);
+        let b = BigFloat::from_f64(x * factor);
+        prop_assume!(x * factor > x); // factor didn't vanish in rounding
+        prop_assert!(c.ln(&a) < c.ln(&b));
+    }
+
+    #[test]
+    fn to_i64_round_matches_f64(x in -1e15f64..1e15) {
+        let b = BigFloat::from_f64(x);
+        prop_assert_eq!(b.to_i64_round(), x.round_ties_even() as i64);
+    }
+}
+
+#[test]
+fn deep_product_chain_has_exact_exponent() {
+    // Multiply 0.5 * (3/4) alternately; exponents must track exactly.
+    let c = Context::new(256);
+    let half = BigFloat::from_f64(0.5);
+    let mut v = BigFloat::one();
+    for _ in 0..10_000 {
+        v = c.mul(&v, &half);
+    }
+    assert_eq!(v.exponent(), Some(-10_000));
+}

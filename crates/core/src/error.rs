@@ -1,0 +1,170 @@
+//! Relative-error measurement against the BigFloat oracle.
+//!
+//! The paper measures accuracy as the relative error `|x - y| / |x|`
+//! where `x` is the 256-bit oracle result and `y` the 64-bit format's
+//! result, reported on a log10 scale (Figures 3, 9, 10, 11).
+
+use crate::statfloat::StatFloat;
+use compstat_bigfloat::{BigFloat, Context, Kind};
+
+/// Classification of a single measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// Computed value equals the oracle exactly.
+    Exact,
+    /// Ordinary finite error.
+    Normal,
+    /// Computed value underflowed to zero while the oracle is nonzero
+    /// (relative error exactly 1).
+    UnderflowToZero,
+    /// Computed value is NaN/NaR or infinite.
+    Invalid,
+}
+
+/// One relative-error measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorMeasurement {
+    /// `log10(|x - y| / |x|)`; `f64::NEG_INFINITY` for exact results.
+    pub log10_rel: f64,
+    /// What kind of measurement this is.
+    pub class: ErrorClass,
+}
+
+impl ErrorMeasurement {
+    /// True if the relative error is at most `10^threshold_log10`
+    /// (exact results always pass). Used for CDF-style reporting
+    /// ("X% of results have relative error < 1e-8").
+    #[must_use]
+    pub fn within(&self, threshold_log10: f64) -> bool {
+        self.log10_rel <= threshold_log10
+    }
+}
+
+/// `log10 |x|` of a finite nonzero BigFloat, via its base-2 exponent and
+/// a 53-bit mantissa (plenty for plotting-grade log values).
+#[must_use]
+pub fn log10_abs(x: &BigFloat) -> f64 {
+    match x.exponent() {
+        Some(e) => {
+            let m = x.abs().mul_pow2(-e).to_f64(); // in [1, 2)
+            e as f64 * core::f64::consts::LOG10_2 + m.log10()
+        }
+        None => {
+            if x.is_zero() {
+                f64::NEG_INFINITY
+            } else {
+                f64::NAN
+            }
+        }
+    }
+}
+
+/// Relative error of `computed` against the `reference` oracle value,
+/// evaluated at `ctx` precision.
+#[must_use]
+pub fn relative_error(reference: &BigFloat, computed: &BigFloat, ctx: &Context) -> ErrorMeasurement {
+    match (reference.kind(), computed.kind()) {
+        (_, Kind::Nan) | (_, Kind::Inf) => {
+            ErrorMeasurement { log10_rel: f64::INFINITY, class: ErrorClass::Invalid }
+        }
+        (Kind::Zero, Kind::Zero) => {
+            ErrorMeasurement { log10_rel: f64::NEG_INFINITY, class: ErrorClass::Exact }
+        }
+        (Kind::Zero, _) => {
+            // Reference zero, computed nonzero: relative error undefined;
+            // treat as invalid (does not occur in the paper's workloads).
+            ErrorMeasurement { log10_rel: f64::INFINITY, class: ErrorClass::Invalid }
+        }
+        (Kind::Normal, Kind::Zero) => {
+            // |x - 0| / |x| = 1.
+            ErrorMeasurement { log10_rel: 0.0, class: ErrorClass::UnderflowToZero }
+        }
+        _ => {
+            let diff = ctx.sub(reference, computed).abs();
+            if diff.is_zero() {
+                return ErrorMeasurement { log10_rel: f64::NEG_INFINITY, class: ErrorClass::Exact };
+            }
+            let rel = ctx.div(&diff, &reference.abs());
+            ErrorMeasurement { log10_rel: log10_abs(&rel), class: ErrorClass::Normal }
+        }
+    }
+}
+
+/// Computes `reference op-in-format` error in one step: converts the
+/// computed format value to its exact meaning and measures.
+#[must_use]
+pub fn measure<T: StatFloat>(reference: &BigFloat, computed: &T, ctx: &Context) -> ErrorMeasurement {
+    relative_error(reference, &computed.to_bigfloat(), ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Context {
+        Context::new(256)
+    }
+
+    #[test]
+    fn exact_match_is_exact() {
+        let x = BigFloat::from_f64(0.3);
+        let m = relative_error(&x, &x.clone(), &ctx());
+        assert_eq!(m.class, ErrorClass::Exact);
+        assert_eq!(m.log10_rel, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn one_ulp_error_is_about_em16() {
+        let x = BigFloat::from_f64(1.0);
+        let y = BigFloat::from_f64(1.0 + f64::EPSILON);
+        let m = relative_error(&x, &y, &ctx());
+        assert_eq!(m.class, ErrorClass::Normal);
+        assert!((m.log10_rel - f64::EPSILON.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn underflow_counts_as_unit_error() {
+        let x = BigFloat::pow2(-2_000_000);
+        let m = relative_error(&x, &BigFloat::zero(), &ctx());
+        assert_eq!(m.class, ErrorClass::UnderflowToZero);
+        assert_eq!(m.log10_rel, 0.0);
+        assert!(m.within(0.0));
+        assert!(!m.within(-8.0));
+    }
+
+    #[test]
+    fn errors_above_one_are_representable() {
+        // posit(64,9)'s worst case is ~1e295 relative error; the metric
+        // must not clamp.
+        let x = BigFloat::pow2(-400_000);
+        let y = BigFloat::pow2(-31_744); // saturated at minpos
+        let m = relative_error(&x, &y, &ctx());
+        assert_eq!(m.class, ErrorClass::Normal);
+        assert!(m.log10_rel > 100_000.0);
+    }
+
+    #[test]
+    fn nan_is_invalid() {
+        let x = BigFloat::from_f64(1.0);
+        let m = relative_error(&x, &BigFloat::nan(), &ctx());
+        assert_eq!(m.class, ErrorClass::Invalid);
+    }
+
+    #[test]
+    fn log10_abs_tracks_exponent() {
+        let x = BigFloat::pow2(-10_000);
+        assert!((log10_abs(&x) - (-10_000.0 * core::f64::consts::LOG10_2)).abs() < 1e-6);
+        assert_eq!(log10_abs(&BigFloat::zero()), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn measure_through_format() {
+        use compstat_posit::P64E12;
+        let exact = BigFloat::from_f64(0.3);
+        let p = P64E12::from_f64(0.3);
+        let m = measure(&exact, &p, &ctx());
+        // posit(64,12) has 49 fraction bits near 1: tiny but nonzero error
+        // relative to the 53-bit f64 constant.
+        assert!(m.log10_rel < -14.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! # compstat-core
+//!
+//! The unifying layer of the `compstat` workspace — a Rust reproduction
+//! of *"Design and accuracy trade-offs in Computational Statistics"*
+//! (IISWC 2025).
+//!
+//! This crate ties the number-system crates together behind one
+//! abstraction and provides the measurement machinery the paper's
+//! evaluation is built on:
+//!
+//! * [`StatFloat`] — the "same computation, different number system"
+//!   interface implemented by `f64`, [`compstat_logspace::LogF64`] and
+//!   the `posit(64, ES)` configurations;
+//! * [`error`] — relative error against the 256-bit oracle, with
+//!   underflow/invalid classification;
+//! * [`sample`] — operand corpora (uniform-in-exponent sampling) and
+//!   Dirichlet/Gamma samplers for synthetic HMM inputs;
+//! * [`stats`] — box-plot summaries and empirical CDFs (the shapes of
+//!   Figures 3, 9, 10, 11);
+//! * [`accuracy`] — the Section IV-A bucketed accuracy experiment;
+//! * [`report`] — text-table rendering used by every bench target.
+//!
+//! # Examples
+//!
+//! Measuring how each format holds a probability far below binary64's
+//! range (the paper's core observation):
+//!
+//! ```
+//! use compstat_bigfloat::{BigFloat, Context};
+//! use compstat_core::{error, StatFloat};
+//! use compstat_logspace::LogF64;
+//! use compstat_posit::P64E18;
+//!
+//! let ctx = Context::new(256);
+//! let exact = BigFloat::pow2(-2_000_000);
+//!
+//! let as_f64 = <f64 as StatFloat>::from_bigfloat(&exact);
+//! assert!(as_f64.is_zero()); // binary64: underflow
+//!
+//! let as_posit = <P64E18 as StatFloat>::from_bigfloat(&exact);
+//! let m = error::measure(&exact, &as_posit, &ctx);
+//! assert!(m.log10_rel < -9.0); // posit(64,18): ~10 decimal digits
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod accuracy;
+pub mod error;
+pub mod report;
+pub mod sample;
+pub mod statfloat;
+pub mod stats;
+
+pub use accuracy::{figure3_buckets, figure9_buckets, ExponentBucket, OpKind};
+pub use error::{relative_error, ErrorClass, ErrorMeasurement};
+pub use statfloat::{FormatKind, StatFloat, MEASURE_PREC};
+pub use stats::{BoxStats, Cdf};
+
+// Re-export the sibling crates so downstream users need only one dep.
+pub use compstat_bigfloat as bigfloat;
+pub use compstat_logspace as logspace;
+pub use compstat_posit as posit;

@@ -1,0 +1,132 @@
+//! Plain-text table rendering for the experiment harness: every bench
+//! target prints its table/figure as an aligned text table.
+
+use core::fmt::Write as _;
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use compstat_core::report::Table;
+///
+/// let mut t = Table::new(vec!["Format".into(), "LUT".into()]);
+/// t.row(vec!["binary64 add".into(), "679".into()]);
+/// let s = t.render();
+/// assert!(s.contains("binary64 add"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: Vec<String>) -> Table {
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row (padded or truncated to the header width).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Renders with single-space-padded column alignment.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:width$}", c, width = widths[i]);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a float for table cells: fixed decimals, `-` for NaN.
+#[must_use]
+pub fn fmt_f64(x: f64, decimals: usize) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else if x == f64::NEG_INFINITY {
+        "-inf".to_string()
+    } else if x == f64::INFINITY {
+        "inf".to_string()
+    } else {
+        format!("{x:.decimals$}")
+    }
+}
+
+/// Formats a percentage change `new` vs `base` (positive = improvement
+/// when lower-is-better), e.g. the "Reduction" rows of Tables III/IV.
+#[must_use]
+pub fn fmt_reduction(base: f64, new: f64) -> String {
+    if base == 0.0 {
+        return "-".to_string();
+    }
+    format!("{:.2}%", (base - new) / base * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["A".into(), "Value".into()]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("A"));
+        assert!(lines[1].starts_with("---"));
+        // The "Value" column starts at the same offset in all rows.
+        let col = lines[0].find("Value").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+        assert_eq!(&lines[3][col..col + 2], "22");
+    }
+
+    #[test]
+    fn row_padding() {
+        let mut t = Table::new(vec!["A".into(), "B".into(), "C".into()]);
+        t.row(vec!["only-one".into()]);
+        let s = t.render();
+        assert!(s.contains("only-one"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(f64::NAN, 2), "-");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY, 2), "-inf");
+        assert_eq!(fmt_reduction(100.0, 40.0), "60.00%");
+        assert_eq!(fmt_reduction(0.0, 40.0), "-");
+    }
+}

@@ -1,0 +1,304 @@
+//! Processing-element models (Figure 4): stage lists whose latencies and
+//! unit counts compose from the Table II catalog, reproducing the
+//! paper's PE latency formulas:
+//!
+//! * log-space forward PE:  `62 + 9·log2(H)` cycles,
+//! * posit forward PE:      `24 + 8·log2(H)` cycles,
+//! * log-space column PE:   `73` cycles,
+//! * posit column PE:       `30` cycles.
+
+use crate::units::{self, ArithUnit, Design};
+
+/// One pipeline stage of a PE.
+#[derive(Clone, Debug)]
+pub struct Stage {
+    /// Stage label (matches Figure 4's boxes).
+    pub name: String,
+    /// Stage latency in cycles.
+    pub latency: u64,
+    /// Units instantiated by this stage: `(unit, count)`.
+    pub units: Vec<(ArithUnit, u64)>,
+}
+
+/// A processing element: an ordered list of stages.
+#[derive(Clone, Debug)]
+pub struct PeModel {
+    /// Which design this PE belongs to.
+    pub design: Design,
+    /// Descriptive name.
+    pub name: String,
+    /// The pipeline stages.
+    pub stages: Vec<Stage>,
+}
+
+impl PeModel {
+    /// Total pipeline latency (sum of stage latencies).
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.stages.iter().map(|s| s.latency).sum()
+    }
+
+    /// Total LUTs over all stages.
+    #[must_use]
+    pub fn lut(&self) -> u64 {
+        self.sum(|u| u.lut)
+    }
+
+    /// Total registers.
+    #[must_use]
+    pub fn register(&self) -> u64 {
+        self.sum(|u| u.register)
+    }
+
+    /// Total DSP slices. posit multiplier DSPs are counted at their
+    /// in-context cost (9 — Vivado shares one slice when many units are
+    /// packed, calibrated against Table III).
+    #[must_use]
+    pub fn dsp(&self) -> u64 {
+        self.sum(|u| if u.name.contains("posit") && u.name.contains("mul") { 9 } else { u.dsp })
+    }
+
+    fn sum(&self, f: impl Fn(&ArithUnit) -> u64) -> u64 {
+        self.stages.iter().flat_map(|s| &s.units).map(|(u, c)| f(u) * c).sum()
+    }
+}
+
+/// `ceil(log2 h)` — reduction-tree depth over `h` inputs.
+#[must_use]
+pub fn log2_ceil(h: u64) -> u64 {
+    assert!(h >= 1, "log2 of zero");
+    64 - (h - 1).leading_zeros() as u64
+}
+
+/// Forward-algorithm PE over `lanes` parallel inner-loop lanes
+/// (Figure 4a / 4b), reducing over all `lanes` inputs.
+#[must_use]
+pub fn forward_pe(design: Design, lanes: u64) -> PeModel {
+    forward_pe_with_tree(design, lanes, lanes)
+}
+
+/// Forward PE with decoupled lane count and reduction width: units are
+/// replicated per *lane*, but the reduction tree spans `tree_inputs`
+/// (= H). For H beyond [`crate::forward_unit::MAX_LANES`] the unit runs
+/// the innermost loop in multiple passes over fewer lanes while the
+/// accumulation still reduces all H terms.
+#[must_use]
+pub fn forward_pe_with_tree(design: Design, lanes: u64, tree_inputs: u64) -> PeModel {
+    assert!(lanes >= 1, "PE needs at least one lane");
+    assert!(tree_inputs >= lanes, "tree cannot be narrower than the lanes");
+    let tree = log2_ceil(tree_inputs);
+    match design {
+        Design::LogSpace => {
+            let add = units::BINARY64_ADD;
+            let cmp = units::BINARY64_CMP;
+            let exp = units::BINARY64_EXP;
+            let log = units::BINARY64_LOG;
+            PeModel {
+                design,
+                name: format!("log-space forward PE (H={lanes})"),
+                stages: vec![
+                    Stage {
+                        name: "compute terms (fully parallel adds)".into(),
+                        latency: add.cycles,
+                        units: vec![(add, lanes)],
+                    },
+                    Stage {
+                        name: "find maximum (parallel reduction tree)".into(),
+                        latency: cmp.cycles * tree,
+                        units: vec![(cmp, lanes.saturating_sub(1))],
+                    },
+                    Stage {
+                        name: "subtractions (fully parallel)".into(),
+                        latency: add.cycles,
+                        units: vec![(add, lanes)],
+                    },
+                    Stage {
+                        name: "exponentials (fully parallel)".into(),
+                        latency: exp.cycles,
+                        units: vec![(exp, lanes)],
+                    },
+                    Stage {
+                        name: "accumulation of exponentials (reduction tree)".into(),
+                        latency: add.cycles * tree,
+                        units: vec![(add, lanes.saturating_sub(1))],
+                    },
+                    Stage {
+                        name: "logarithm and add".into(),
+                        latency: log.cycles + add.cycles,
+                        units: vec![(log, 1), (add, 1)],
+                    },
+                ],
+            }
+        }
+        Design::Posit64Es12 | Design::Posit64Es18 => {
+            let add = design.adder();
+            let mul = design.multiplier();
+            PeModel {
+                design,
+                name: format!("posit forward PE (H={lanes})"),
+                stages: vec![
+                    Stage {
+                        name: "compute terms (fully parallel multiplies)".into(),
+                        latency: mul.cycles,
+                        units: vec![(mul, lanes)],
+                    },
+                    Stage {
+                        name: "accumulation of terms (parallel reduction tree)".into(),
+                        latency: add.cycles * tree,
+                        units: vec![(add, lanes.saturating_sub(1))],
+                    },
+                    Stage {
+                        name: "multiplication (single op)".into(),
+                        latency: mul.cycles,
+                        units: vec![(mul, 1)],
+                    },
+                ],
+            }
+        }
+    }
+}
+
+/// Column-unit PE (Section V-C): the LoFreq multiply-and-add
+/// `pr[k]*(1-pn) + pr[k-1]*pn` plus the conditional p-value update.
+#[must_use]
+pub fn column_pe(design: Design) -> PeModel {
+    match design {
+        Design::LogSpace => {
+            // An adder (log mul) feeding a binary LSE, plus conditional
+            // logic: 6 + 64 + 3 = 73 cycles.
+            PeModel {
+                design,
+                name: "log-space column PE".into(),
+                stages: vec![
+                    Stage {
+                        name: "log multiplies (binary64 adds)".into(),
+                        latency: units::LOG_MUL.cycles,
+                        units: vec![(units::LOG_MUL, 2)],
+                    },
+                    Stage {
+                        name: "binary LSE".into(),
+                        latency: units::LOG_ADD_LSE.cycles,
+                        units: vec![(units::LOG_ADD_LSE, 1)],
+                    },
+                    Stage {
+                        name: "conditional logic".into(),
+                        latency: 3,
+                        units: vec![],
+                    },
+                ],
+            }
+        }
+        Design::Posit64Es12 | Design::Posit64Es18 => {
+            // The complement (1 - pn) is computed once per outer
+            // iteration by an adder shared across the unit (it lives in
+            // the shell's resource budget) but its latency leads the
+            // pipeline: 8 + 12 + 8 + 2 = 30 cycles.
+            let add = design.adder();
+            let mul = design.multiplier();
+            PeModel {
+                design,
+                name: "posit column PE".into(),
+                stages: vec![
+                    Stage {
+                        name: "complement (1 - pn, shared adder)".into(),
+                        latency: add.cycles,
+                        units: vec![],
+                    },
+                    Stage {
+                        name: "multiplies (parallel)".into(),
+                        latency: mul.cycles,
+                        units: vec![(mul, 2)],
+                    },
+                    Stage { name: "add".into(), latency: add.cycles, units: vec![(add, 1)] },
+                    Stage { name: "conditional logic".into(), latency: 2, units: vec![] },
+                ],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_pe_latency_formulas_match_paper() {
+        // Log PE: 62 + 9 log2(H); posit PE: 24 + 8 log2(H) (Section V-C).
+        for h in [2u64, 4, 8, 13, 16, 32, 64, 128] {
+            let t = log2_ceil(h);
+            let log_pe = forward_pe(Design::LogSpace, h);
+            assert_eq!(log_pe.latency(), 62 + 9 * t, "log PE at H={h}");
+            let posit_pe = forward_pe(Design::Posit64Es18, h);
+            assert_eq!(posit_pe.latency(), 24 + 8 * t, "posit PE at H={h}");
+        }
+    }
+
+    #[test]
+    fn paper_latency_reduction_quote() {
+        // "its latency becomes 24 + 8 log2(H) cycles, with a reduction of
+        // 38 + log2(H) cycles".
+        for h in [13u64, 32, 64, 128] {
+            let t = log2_ceil(h);
+            let reduction = forward_pe(Design::LogSpace, h).latency()
+                - forward_pe(Design::Posit64Es18, h).latency();
+            assert_eq!(reduction, 38 + t, "reduction at H={h}");
+        }
+    }
+
+    #[test]
+    fn column_pe_latencies_match_paper() {
+        // Log column PE: 73 cycles (64 LSE + 6 add + 3 conditional);
+        // posit column PE: 30 cycles (Section V-C).
+        assert_eq!(column_pe(Design::LogSpace).latency(), 73);
+        assert_eq!(column_pe(Design::Posit64Es12).latency(), 30);
+    }
+
+    #[test]
+    fn log_pe_needs_h_exponential_units() {
+        // "a log-based PE has to implement an H-nary LSE unit which
+        // contains H exponential units, H adders, H/2 comparators, and
+        // one logarithm unit."
+        let pe = forward_pe(Design::LogSpace, 64);
+        let exp_count: u64 = pe
+            .stages
+            .iter()
+            .flat_map(|s| &s.units)
+            .filter(|(u, _)| u.name.contains("exp"))
+            .map(|(_, c)| c)
+            .sum();
+        assert_eq!(exp_count, 64);
+        // posit PE has no exp/log/cmp at all.
+        let ppe = forward_pe(Design::Posit64Es18, 64);
+        assert!(ppe
+            .stages
+            .iter()
+            .flat_map(|s| &s.units)
+            .all(|(u, _)| !u.name.contains("exp") && !u.name.contains("log")));
+    }
+
+    #[test]
+    fn posit_pe_is_much_smaller() {
+        // "the posit-based accelerators consume less than half of the
+        // resources used by their logarithm-based counterparts."
+        for h in [13u64, 32, 64] {
+            let log_pe = forward_pe(Design::LogSpace, h);
+            let posit_pe = forward_pe(Design::Posit64Es18, h);
+            assert!(
+                2 * posit_pe.lut() < log_pe.lut(),
+                "H={h}: posit {} vs log {}",
+                posit_pe.lut(),
+                log_pe.lut()
+            );
+        }
+    }
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(13), 4);
+        assert_eq!(log2_ceil(16), 4);
+        assert_eq!(log2_ceil(17), 5);
+        assert_eq!(log2_ceil(128), 7);
+    }
+}

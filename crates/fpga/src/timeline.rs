@@ -1,0 +1,106 @@
+//! A small event-level timeline simulator reproducing Figure 5: the
+//! per-outer-iteration interleaving of prefetching and pipelined inner
+//! iterations. The closed-form model in [`crate::forward_unit`] is the
+//! fast path; this simulator exists to validate it event-by-event and to
+//! print the Figure 5 trace.
+
+use crate::forward_unit::{ForwardUnit, DRAM_PREFETCH_CYCLES};
+
+/// One event in the execution trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Outer iteration index.
+    pub outer: u64,
+    /// Cycle at which this outer iteration's prefetch begins.
+    pub prefetch_start: u64,
+    /// Cycle at which the first inner iteration issues.
+    pub issue_start: u64,
+    /// Cycle at which the last inner iteration's result retires.
+    pub retire: u64,
+}
+
+/// Simulates `outer_iterations` of a forward unit cycle-by-cycle
+/// (event-level: issue, drain, prefetch overlap) and returns the trace.
+///
+/// Invariants checked by tests: the simulated total matches the
+/// closed-form `cycles_per_outer * T` model exactly.
+#[must_use]
+pub fn simulate_forward(unit: &ForwardUnit, outer_iterations: u64) -> Vec<Event> {
+    let mut events = Vec::with_capacity(outer_iterations.min(1 << 20) as usize);
+    let fill = unit.h() * unit.passes();
+    let lat = unit.pe_latency();
+    let mut clock = 0u64;
+    for outer in 0..outer_iterations {
+        // Prefetch for the *next* iteration starts as this one issues.
+        let prefetch_start = clock;
+        let issue_start = clock;
+        let compute_done = issue_start + fill + lat;
+        let prefetch_done = prefetch_start + DRAM_PREFETCH_CYCLES;
+        let retire = compute_done.max(prefetch_done);
+        events.push(Event { outer, prefetch_start, issue_start, retire });
+        clock = retire;
+    }
+    events
+}
+
+/// Renders a compact text timeline of the first `n` events (the Figure 5
+/// illustration).
+#[must_use]
+pub fn render_timeline(events: &[Event], n: usize) -> String {
+    let mut out = String::new();
+    out.push_str("outer  prefetch@  issue@   retire@  (cycles)\n");
+    for e in events.iter().take(n) {
+        out.push_str(&format!(
+            "{:>5}  {:>9}  {:>7}  {:>8}  ({})\n",
+            e.outer,
+            e.prefetch_start,
+            e.issue_start,
+            e.retire,
+            e.retire - e.issue_start
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Design;
+
+    #[test]
+    fn simulator_matches_closed_form() {
+        for design in [Design::LogSpace, Design::Posit64Es18] {
+            for h in [13u64, 32, 64, 128] {
+                let unit = ForwardUnit::new(design, h);
+                let t = 1_000;
+                let events = simulate_forward(&unit, t);
+                let total = events.last().unwrap().retire;
+                assert_eq!(
+                    total,
+                    unit.cycles_per_outer() * t,
+                    "{} H={h}",
+                    design.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn events_are_contiguous_and_monotone() {
+        let unit = ForwardUnit::new(Design::Posit64Es18, 13);
+        let events = simulate_forward(&unit, 100);
+        for w in events.windows(2) {
+            assert_eq!(w[1].issue_start, w[0].retire);
+            assert!(w[1].retire > w[1].issue_start);
+        }
+    }
+
+    #[test]
+    fn render_shows_requested_rows() {
+        let unit = ForwardUnit::new(Design::LogSpace, 32);
+        let events = simulate_forward(&unit, 10);
+        let txt = render_timeline(&events, 3);
+        assert_eq!(txt.lines().count(), 4);
+        assert!(txt.contains("outer"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Hidden Markov Model definition and per-format preparation.
+
+use compstat_core::StatFloat;
+
+/// A discrete-observation HMM `lambda = (A, B, pi)` (Section V-A).
+///
+/// * `A` is the `H x H` transition matrix: `a(i, j)` is the probability
+///   of moving from state `i` to state `j`.
+/// * `B` is the `H x M` emission matrix: `b(i, o)` is the probability of
+///   observing symbol `o` in state `i`.
+/// * `pi` is the initial state distribution.
+///
+/// Inputs are plain probabilities (binary64-representable, as in the
+/// paper where A and B are ordinary inputs); it is the *iterated
+/// products* over long observation sequences that leave binary64's
+/// range.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Hmm {
+    h: usize,
+    m: usize,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    pi: Vec<f64>,
+}
+
+impl Hmm {
+    /// Builds an HMM, validating shapes and (loosely) stochasticity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero or inconsistent, if any entry is
+    /// negative/NaN, or if any row sum deviates from 1 by more than 1e-6.
+    #[must_use]
+    pub fn new(h: usize, m: usize, a: Vec<f64>, b: Vec<f64>, pi: Vec<f64>) -> Hmm {
+        assert!(h > 0 && m > 0, "empty model");
+        assert_eq!(a.len(), h * h, "A must be H x H");
+        assert_eq!(b.len(), h * m, "B must be H x M");
+        assert_eq!(pi.len(), h, "pi must have H entries");
+        let check_row = |row: &[f64], what: &str| {
+            assert!(row.iter().all(|&p| p >= 0.0 && p.is_finite()), "{what}: bad probability");
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "{what}: row sums to {s}");
+        };
+        for i in 0..h {
+            check_row(&a[i * h..(i + 1) * h], "A row");
+            check_row(&b[i * m..(i + 1) * m], "B row");
+        }
+        check_row(&pi, "pi");
+        Hmm { h, m, a, b, pi }
+    }
+
+    /// Number of hidden states `H`.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.h
+    }
+
+    /// Number of observation symbols `M`.
+    #[must_use]
+    pub fn num_symbols(&self) -> usize {
+        self.m
+    }
+
+    /// Transition probability `P(q_j | q_i)`.
+    #[must_use]
+    pub fn a(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.h + j]
+    }
+
+    /// Emission probability `P(o | q_i)`.
+    #[must_use]
+    pub fn b(&self, i: usize, o: usize) -> f64 {
+        self.b[i * self.m + o]
+    }
+
+    /// Initial probability of state `i`.
+    #[must_use]
+    pub fn pi(&self, i: usize) -> f64 {
+        self.pi[i]
+    }
+
+    /// Converts every model probability into format `T` once, so the
+    /// inner loops run without repeated conversion (the accelerators
+    /// likewise store `A`/`B` on-chip in the compute format; log-space
+    /// designs store pre-computed `ln_A`, `ln_B` — Listing 3).
+    #[must_use]
+    pub fn prepare<T: StatFloat>(&self) -> PreparedHmm<T> {
+        PreparedHmm {
+            h: self.h,
+            m: self.m,
+            a: self.a.iter().map(|&p| T::from_f64(p)).collect(),
+            b: self.b.iter().map(|&p| T::from_f64(p)).collect(),
+            pi: self.pi.iter().map(|&p| T::from_f64(p)).collect(),
+        }
+    }
+}
+
+/// An [`Hmm`] with all probabilities pre-converted into format `T`.
+#[derive(Clone, Debug)]
+pub struct PreparedHmm<T> {
+    pub(crate) h: usize,
+    pub(crate) m: usize,
+    pub(crate) a: Vec<T>,
+    pub(crate) b: Vec<T>,
+    pub(crate) pi: Vec<T>,
+}
+
+impl<T: Copy> PreparedHmm<T> {
+    /// Number of hidden states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.h
+    }
+
+    /// Number of observation symbols.
+    #[must_use]
+    pub fn num_symbols(&self) -> usize {
+        self.m
+    }
+
+    /// Transition probability in format `T`.
+    #[must_use]
+    pub fn a(&self, i: usize, j: usize) -> T {
+        self.a[i * self.h + j]
+    }
+
+    /// Emission probability in format `T`.
+    #[must_use]
+    pub fn b(&self, i: usize, o: usize) -> T {
+        self.b[i * self.m + o]
+    }
+
+    /// Initial probability in format `T`.
+    #[must_use]
+    pub fn pi(&self, i: usize) -> T {
+        self.pi[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> Hmm {
+        Hmm::new(
+            2,
+            2,
+            vec![0.7, 0.3, 0.4, 0.6],
+            vec![0.9, 0.1, 0.2, 0.8],
+            vec![0.5, 0.5],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let m = two_state();
+        assert_eq!(m.num_states(), 2);
+        assert_eq!(m.num_symbols(), 2);
+        assert_eq!(m.a(0, 1), 0.3);
+        assert_eq!(m.b(1, 0), 0.2);
+        assert_eq!(m.pi(1), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row sums")]
+    fn rejects_non_stochastic_rows() {
+        Hmm::new(1, 2, vec![1.0], vec![0.5, 0.4], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "A must be H x H")]
+    fn rejects_bad_shapes() {
+        Hmm::new(2, 2, vec![1.0; 3], vec![0.5; 4], vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn prepare_converts_all_entries() {
+        use compstat_posit::{P64E12, P64E9};
+        let m = two_state();
+        // posit(64,9) keeps all 52 fraction bits near 1.0: conversions of
+        // f64 probabilities are exact.
+        let p: PreparedHmm<P64E9> = m.prepare();
+        assert_eq!(p.a(0, 0).to_f64(), 0.7);
+        assert_eq!(p.b(0, 1).to_f64(), 0.1);
+        assert_eq!(p.pi(0).to_f64(), 0.5);
+        // posit(64,12) has 49 fraction bits there: 0.7 re-rounds by a few
+        // ulps (the precision trade-off Table I quantifies).
+        let p12: PreparedHmm<P64E12> = m.prepare();
+        assert!((p12.a(0, 0).to_f64() - 0.7).abs() < 1e-14);
+        assert_eq!(p12.pi(0).to_f64(), 0.5); // dyadic: always exact
+    }
+}

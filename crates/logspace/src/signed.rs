@@ -1,0 +1,211 @@
+//! Signed log-space numbers: an extension beyond the paper's
+//! probability-only workloads, needed by algorithms that subtract
+//! (e.g. `1 - p` in the Poisson-binomial recurrence when staying fully
+//! in log-space).
+
+use crate::LogF64;
+use compstat_bigfloat::{BigFloat, Context, Sign};
+use core::fmt;
+
+/// A real number stored as a sign and the natural log of its magnitude.
+#[derive(Clone, Copy, PartialEq)]
+pub struct SignedLogF64 {
+    negative: bool,
+    mag: LogF64,
+}
+
+impl SignedLogF64 {
+    /// Zero.
+    pub const ZERO: SignedLogF64 = SignedLogF64 { negative: false, mag: LogF64::ZERO };
+
+    /// One.
+    pub const ONE: SignedLogF64 = SignedLogF64 { negative: false, mag: LogF64::ONE };
+
+    /// Builds from a sign and a log-magnitude.
+    #[must_use]
+    pub fn new(negative: bool, mag: LogF64) -> SignedLogF64 {
+        if mag.is_zero() {
+            SignedLogF64::ZERO
+        } else {
+            SignedLogF64 { negative, mag }
+        }
+    }
+
+    /// Converts from `f64`.
+    #[must_use]
+    pub fn from_f64(x: f64) -> SignedLogF64 {
+        SignedLogF64::new(x < 0.0, LogF64::from_f64(x.abs()))
+    }
+
+    /// The log of the magnitude.
+    #[must_use]
+    pub fn magnitude(self) -> LogF64 {
+        self.mag
+    }
+
+    /// True for negative values.
+    #[must_use]
+    pub fn is_negative(self) -> bool {
+        self.negative
+    }
+
+    /// True for zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// The represented value in the BigFloat oracle.
+    #[must_use]
+    pub fn to_bigfloat(self, ctx: &Context) -> BigFloat {
+        let m = self.mag.to_bigfloat(ctx);
+        if self.negative {
+            m.neg()
+        } else {
+            m
+        }
+    }
+
+    /// Rounds an exact value into signed log-space.
+    #[must_use]
+    pub fn from_bigfloat(x: &BigFloat, ctx: &Context) -> SignedLogF64 {
+        let negative = x.sign() == Sign::Neg;
+        SignedLogF64::new(negative, LogF64::from_bigfloat(&x.abs(), ctx))
+    }
+
+    /// The value as `f64` (may under/overflow; for display and tests).
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        let m = self.mag.to_f64();
+        if self.negative {
+            -m
+        } else {
+            m
+        }
+    }
+}
+
+impl core::ops::Neg for SignedLogF64 {
+    type Output = SignedLogF64;
+    fn neg(self) -> SignedLogF64 {
+        SignedLogF64::new(!self.negative, self.mag)
+    }
+}
+
+impl core::ops::Add for SignedLogF64 {
+    type Output = SignedLogF64;
+    fn add(self, rhs: SignedLogF64) -> SignedLogF64 {
+        if self.is_zero() {
+            return rhs;
+        }
+        if rhs.is_zero() {
+            return self;
+        }
+        if self.negative == rhs.negative {
+            return SignedLogF64::new(self.negative, self.mag + rhs.mag);
+        }
+        // Opposite signs: subtract the smaller magnitude from the larger.
+        let (big, small) = if self.mag >= rhs.mag { (self, rhs) } else { (rhs, self) };
+        match big.mag.checked_sub(small.mag) {
+            Some(d) => SignedLogF64::new(big.negative, d),
+            None => SignedLogF64::ZERO, // equal magnitudes (unreachable otherwise)
+        }
+    }
+}
+
+impl core::ops::Sub for SignedLogF64 {
+    type Output = SignedLogF64;
+    fn sub(self, rhs: SignedLogF64) -> SignedLogF64 {
+        self + (-rhs)
+    }
+}
+
+impl core::ops::Mul for SignedLogF64 {
+    type Output = SignedLogF64;
+    fn mul(self, rhs: SignedLogF64) -> SignedLogF64 {
+        SignedLogF64::new(self.negative != rhs.negative, self.mag * rhs.mag)
+    }
+}
+
+impl core::ops::Div for SignedLogF64 {
+    type Output = SignedLogF64;
+    fn div(self, rhs: SignedLogF64) -> SignedLogF64 {
+        SignedLogF64::new(self.negative != rhs.negative, self.mag / rhs.mag)
+    }
+}
+
+impl Default for SignedLogF64 {
+    fn default() -> Self {
+        SignedLogF64::ZERO
+    }
+}
+
+impl fmt::Debug for SignedLogF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SignedLogF64({}ln={})", if self.negative { "-" } else { "+" }, self.mag.ln_value())
+    }
+}
+
+impl fmt::Display for SignedLogF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negative {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_ring_operations() {
+        let a = SignedLogF64::from_f64(0.7);
+        let b = SignedLogF64::from_f64(-0.3);
+        assert!((a + b).to_f64() - 0.4 < 1e-14);
+        assert!((a - b).to_f64() - 1.0 < 1e-14);
+        assert!((a * b).to_f64() + 0.21 < 1e-14);
+        assert!((a / b).to_f64() + 7.0 / 3.0 < 1e-13);
+        assert!((a + (-a)).is_zero());
+    }
+
+    #[test]
+    fn one_minus_p_pattern() {
+        // The PBD recurrence's (1 - pn) computed fully in log-space.
+        let one = SignedLogF64::ONE;
+        let p = SignedLogF64::from_f64(0.875);
+        let q = one - p;
+        assert!((q.to_f64() - 0.125).abs() < 1e-14);
+        assert!(!q.is_negative());
+    }
+
+    #[test]
+    fn zero_identities() {
+        let z = SignedLogF64::ZERO;
+        let a = SignedLogF64::from_f64(-2.5);
+        assert_eq!((z + a).to_f64(), -2.5);
+        assert_eq!((a + z).to_f64(), -2.5);
+        assert!((a * z).is_zero());
+        assert!(z.is_zero());
+        assert!(!(-z).is_negative()); // no negative zero
+    }
+
+    #[test]
+    fn negation_round_trip() {
+        let a = SignedLogF64::from_f64(0.125);
+        // to_f64 goes through exp(ln(x)), so allow a rounding ulp.
+        assert!(((-(-a)).to_f64() - 0.125).abs() < 1e-16);
+        assert!((-a).is_negative());
+    }
+
+    #[test]
+    fn bigfloat_round_trip() {
+        let ctx = Context::new(160);
+        let a = SignedLogF64::new(true, LogF64::from_ln(-54_321.0));
+        let bf = a.to_bigfloat(&ctx);
+        let back = SignedLogF64::from_bigfloat(&bf, &ctx);
+        assert_eq!(back.magnitude().ln_value(), -54_321.0);
+        assert!(back.is_negative());
+    }
+}

@@ -1,0 +1,63 @@
+//! Accelerator design-space exploration with the FPGA model
+//! (Sections V-VI): sweep H for the forward unit and PE counts for the
+//! column unit, and see how the posit/log trade-off moves.
+//!
+//! Run with: `cargo run --release --example accelerator_design_space`
+
+use compstat::fpga::{
+    column_unit_resources, forward_unit_resources, perf_per_resource, units_per_slr, ColumnUnit,
+    Design, ForwardUnit,
+};
+
+fn main() {
+    println!("== Forward-algorithm unit: H sweep (T = 500,000 sites, 300 MHz) ==\n");
+    println!("H     design        s/run   cyc/site  PE lat  CLB     LUT      prefetch-bound?");
+    println!("----  ------------  ------  --------  ------  ------  -------  ---------------");
+    for h in [4u64, 8, 13, 32, 64, 128, 256] {
+        for design in [Design::LogSpace, Design::Posit64Es18] {
+            let u = ForwardUnit::new(design, h);
+            let r = forward_unit_resources(&u);
+            println!(
+                "{h:<4}  {:<12}  {:<6.3}  {:<8}  {:<6}  {:<6}  {:<7}  {}",
+                design.name(),
+                u.wall_clock_seconds(500_000),
+                u.cycles_per_outer(),
+                u.pe_latency(),
+                r.clb,
+                r.lut,
+                u.is_prefetch_bound(),
+            );
+        }
+    }
+
+    println!("\n== Column unit: PE count sweep on a fixed workload ==\n");
+    let workload: Vec<(u64, u64)> = (0..96).map(|i| (250_000 + (i % 7) * 20_000, 120 + (i % 11) * 60)).collect();
+    println!("PEs   design        s/run    MMAPS    MMAPS/CLB  units/SLR");
+    println!("----  ------------  -------  -------  ---------  ---------");
+    for pes in [2u64, 4, 8, 16] {
+        for design in [Design::LogSpace, Design::Posit64Es12] {
+            let u = ColumnUnit::new(design, pes);
+            let p = perf_per_resource(&u, &workload);
+            println!(
+                "{pes:<4}  {:<12}  {:<7.1}  {:<7.0}  {:<9.3}  {}",
+                design.name(),
+                p.seconds,
+                p.mmaps,
+                p.mmaps_per_clb,
+                units_per_slr(p.resources.clb),
+            );
+        }
+    }
+
+    println!("\n== The paper's SLR packing claim ==\n");
+    let log8 = column_unit_resources(&ColumnUnit::new(Design::LogSpace, 8));
+    let posit8 = column_unit_resources(&ColumnUnit::new(Design::Posit64Es12, 8));
+    println!(
+        "8-PE column unit CLBs: log {} vs posit {} -> {} vs {} units per SLR",
+        log8.clb,
+        posit8.clb,
+        units_per_slr(log8.clb),
+        units_per_slr(posit8.clb)
+    );
+    println!("(the paper: 'at most 4 log-based units ... easily fit 10 posit-based')");
+}

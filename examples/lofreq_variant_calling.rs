@@ -1,0 +1,74 @@
+//! LoFreq-style variant calling: Poisson-binomial p-values per alignment
+//! column, with the 2^-200 significance threshold (Section V-A).
+//!
+//! Generates a small synthetic column corpus spanning shallow to
+//! extremely deep p-values, calls variants in each number system, and
+//! reports per-format accuracy plus decision agreement with the oracle.
+//!
+//! Run with: `cargo run --release --example lofreq_variant_calling`
+
+use compstat::bigfloat::Context;
+use compstat::core::ErrorClass;
+use compstat::logspace::LogF64;
+use compstat::pbd::{accuracy_corpus, call_column_with_oracle, CallOutcome, Column};
+use compstat::posit::{P64E12, P64E18, P64E9};
+
+fn summarize(name: &str, outcomes: &[CallOutcome]) {
+    let n = outcomes.len();
+    let agree = outcomes.iter().filter(|o| o.called_variant == o.oracle_variant).count();
+    let underflows =
+        outcomes.iter().filter(|o| o.error.class == ErrorClass::UnderflowToZero).count();
+    let finite: Vec<f64> = outcomes
+        .iter()
+        .filter(|o| o.error.class == ErrorClass::Normal)
+        .map(|o| o.error.log10_rel)
+        .collect();
+    let median = if finite.is_empty() {
+        f64::NAN
+    } else {
+        let mut v = finite.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    println!(
+        "{name:<13} calls agree {agree}/{n}   underflows {underflows:<3} median log10 err {median:6.2}"
+    );
+}
+
+fn main() {
+    let ctx = Context::new(256);
+    let columns: Vec<Column> = accuracy_corpus(7, 120);
+    println!("calling {} synthetic columns (p-values span 1 .. ~2^-400,000)\n", columns.len());
+
+    let mut per_format: Vec<(&str, Vec<CallOutcome>)> = vec![
+        ("binary64", Vec::new()),
+        ("Log", Vec::new()),
+        ("posit(64,9)", Vec::new()),
+        ("posit(64,12)", Vec::new()),
+        ("posit(64,18)", Vec::new()),
+    ];
+    let mut critical = 0usize;
+    for col in &columns {
+        let oracle = col.pvalue_oracle(&ctx);
+        if oracle < compstat::bigfloat::BigFloat::pow2(compstat::pbd::CRITICAL_EXP) {
+            critical += 1;
+        }
+        per_format[0].1.push(call_column_with_oracle::<f64>(col, &oracle, &ctx));
+        per_format[1].1.push(call_column_with_oracle::<LogF64>(col, &oracle, &ctx));
+        per_format[2].1.push(call_column_with_oracle::<P64E9>(col, &oracle, &ctx));
+        per_format[3].1.push(call_column_with_oracle::<P64E12>(col, &oracle, &ctx));
+        per_format[4].1.push(call_column_with_oracle::<P64E18>(col, &oracle, &ctx));
+    }
+    println!("{critical} columns are true variants (p < 2^-200)\n");
+    for (name, outcomes) in &per_format {
+        summarize(name, outcomes);
+    }
+
+    println!("\nNotes:");
+    println!("- binary64 underflows on every p-value below 2^-1074; an underflowed");
+    println!("  p-value reads as 'variant' but carries zero confidence information.");
+    println!("- posit(64,9) saturates at 2^-31,744 and its accuracy collapses near");
+    println!("  that edge (the paper observed relative errors up to 10^295).");
+    println!("- posit(64,12) covers all but the deepest columns; posit(64,18) never");
+    println!("  underflows on this corpus — matching the paper's Figure 9 story.");
+}

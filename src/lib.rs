@@ -1,0 +1,48 @@
+//! # compstat
+//!
+//! A Rust reproduction of *"Design and accuracy trade-offs in
+//! Computational Statistics"* (IISWC 2025): posit vs. binary64 vs.
+//! log-space arithmetic for statistical computations on extremely small
+//! probabilities, with models of the paper's FPGA accelerators.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`bigfloat`] — arbitrary-precision oracle arithmetic (the MPFR
+//!   stand-in);
+//! * [`posit`] — `posit(N, ES)` software arithmetic;
+//! * [`logspace`] — log-domain numbers with Log-Sum-Exp addition;
+//! * [`core`] — the [`core::StatFloat`] abstraction, error metrics,
+//!   samplers, statistics;
+//! * [`hmm`] — the forward algorithm (VICAR case study);
+//! * [`pbd`] — the Poisson Binomial Distribution (LoFreq case study);
+//! * [`fpga`] — the accelerator performance/resource models.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use compstat::posit::P64E18;
+//! use compstat::logspace::LogF64;
+//!
+//! // Multiply 3,000 probabilities of ~0.3 each: the result is near
+//! // 2^-5200, far below binary64's floor.
+//! let p = 0.3f64;
+//! let mut in_f64 = 1.0f64;
+//! let mut in_posit = P64E18::ONE;
+//! let mut in_log = LogF64::ONE;
+//! for _ in 0..3_000 {
+//!     in_f64 *= p;
+//!     in_posit = in_posit * P64E18::from_f64(p);
+//!     in_log = in_log * LogF64::from_f64(p);
+//! }
+//! assert_eq!(in_f64, 0.0);        // binary64 underflows
+//! assert!(!in_posit.is_zero());   // posit holds the value
+//! assert!(!in_log.is_zero());     // log-space holds it too
+//! ```
+
+pub use compstat_bigfloat as bigfloat;
+pub use compstat_core as core;
+pub use compstat_fpga as fpga;
+pub use compstat_hmm as hmm;
+pub use compstat_logspace as logspace;
+pub use compstat_pbd as pbd;
+pub use compstat_posit as posit;

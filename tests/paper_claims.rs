@@ -1,0 +1,113 @@
+//! End-to-end assertions of the paper's headline claims, each tagged
+//! with where the paper makes it.
+
+use compstat::fpga::{
+    column_unit_resources, forward_pe, forward_unit_resources, paper_column_rows, perf_per_resource,
+    units_per_slr, ColumnUnit, Design, ForwardUnit,
+};
+use compstat::posit::{FormatInfo, P64E18, P8E2};
+
+#[test]
+fn abstract_two_orders_of_magnitude_accuracy_machinery() {
+    // The accuracy side is covered at scale by the bench suite; here we
+    // verify the *mechanism*: at VICAR-like magnitudes (2^-600_000) the
+    // log representation has ~2^-33 granularity while posit(64,18) keeps
+    // ~2^-44 — an ~11-bit (3+ decade) per-value advantage.
+    let scale: i64 = -600_000;
+    // log-space: ln(2^-600000) ~ -415888; ulp of that f64:
+    let ln_val = scale as f64 * std::f64::consts::LN_2;
+    let ulp_ln = ln_val.abs() * f64::EPSILON; // relative granularity of the value itself
+    let granularity_log = ulp_ln; // d(e^l)/e^l = dl
+    // posit(64,18) at that scale: fraction bits available.
+    let frac_bits = FormatInfo::new(64, 18).fraction_bits_at_scale(scale);
+    let granularity_posit = 2f64.powi(-(frac_bits as i32));
+    assert!(
+        granularity_log / granularity_posit > 100.0,
+        "log granularity {granularity_log:e} vs posit {granularity_posit:e}"
+    );
+}
+
+#[test]
+fn abstract_up_to_60_percent_lower_resource_utilization() {
+    let l = column_unit_resources(&ColumnUnit::new(Design::LogSpace, 8));
+    let p = column_unit_resources(&ColumnUnit::new(Design::Posit64Es12, 8));
+    let lut_reduction = 1.0 - p.lut as f64 / l.lut as f64;
+    assert!(lut_reduction > 0.55, "LUT reduction {lut_reduction}");
+    let dsp_reduction = 1.0 - p.dsp as f64 / l.dsp as f64;
+    assert!(dsp_reduction > 0.55, "DSP reduction {dsp_reduction}");
+}
+
+#[test]
+fn abstract_up_to_1_3x_speedup() {
+    // "up to 1.3x speedup" == up to ~33% single-unit improvement.
+    let mut best = 0.0f64;
+    for h in [13u64, 32, 64, 128] {
+        let p = ForwardUnit::new(Design::Posit64Es18, h).wall_clock_seconds(500_000);
+        let l = ForwardUnit::new(Design::LogSpace, h).wall_clock_seconds(500_000);
+        best = best.max(l / p);
+    }
+    assert!(best > 1.25 && best < 1.45, "best speedup {best}");
+}
+
+#[test]
+fn abstract_2x_performance_per_resource() {
+    let cols: Vec<(u64, u64)> = (0..128).map(|i| (300_000, 100 + (i % 9) * 80)).collect();
+    let p = perf_per_resource(&ColumnUnit::new(Design::Posit64Es12, 8), &cols);
+    let l = perf_per_resource(&ColumnUnit::new(Design::LogSpace, 8), &cols);
+    let ratio = p.mmaps_per_clb / l.mmaps_per_clb;
+    assert!(ratio > 1.7, "performance-per-CLB ratio {ratio}");
+}
+
+#[test]
+fn section3_posit_worked_example() {
+    // posit(8,2) pattern 0_0001_10_1 == 1.5 * 2^-10 (Section III).
+    assert_eq!(P8E2::from_bits(0b0_0001_10_1).to_f64(), 1.5 / 1024.0);
+}
+
+#[test]
+fn section5_pe_latency_formulas() {
+    for h in [13u64, 32, 64, 128] {
+        let t = 64 - (h - 1).leading_zeros() as u64;
+        assert_eq!(forward_pe(Design::LogSpace, h).latency(), 62 + 9 * t);
+        assert_eq!(forward_pe(Design::Posit64Es18, h).latency(), 24 + 8 * t);
+    }
+}
+
+#[test]
+fn section6_slr_packing() {
+    let rows = paper_column_rows();
+    assert_eq!(units_per_slr(rows[0].resources.clb), 4, "at most 4 log units");
+    assert!(units_per_slr(rows[1].resources.clb) >= 10, "easily 10 posit units");
+}
+
+#[test]
+fn table1_smallest_positive_numbers() {
+    for (es, exp) in [(6u32, -3_968i64), (9, -31_744), (12, -253_952), (15, -2_031_616), (18, -16_252_928), (21, -130_023_424)] {
+        assert_eq!(FormatInfo::new(64, es).min_positive_exp(), exp, "posit(64,{es})");
+    }
+    // And the runtime value agrees for the headline config.
+    assert_eq!(P64E18::MIN_POSITIVE.scale(), Some(-16_252_928));
+}
+
+#[test]
+fn figure6_shape_posit_always_wins_gap_narrows() {
+    let imp = |h: u64| {
+        let p = ForwardUnit::new(Design::Posit64Es18, h).wall_clock_seconds(500_000);
+        let l = ForwardUnit::new(Design::LogSpace, h).wall_clock_seconds(500_000);
+        (l - p) / l
+    };
+    let series: Vec<f64> = [13u64, 32, 64, 128].iter().map(|&h| imp(h)).collect();
+    assert!(series.iter().all(|&x| x > 0.05), "posit wins everywhere: {series:?}");
+    assert!(series[3] < series[0], "gap narrows with H: {series:?}");
+}
+
+#[test]
+fn resource_model_tracks_reported_tables_loosely() {
+    // Sanity guard: composed estimates stay within 30% of every reported
+    // LUT cell (tighter assertions live in the fpga crate's tests).
+    for row in compstat::fpga::paper_forward_rows() {
+        let got = forward_unit_resources(&ForwardUnit::new(row.design, row.param));
+        let rel = (got.lut as f64 - row.resources.lut as f64).abs() / row.resources.lut as f64;
+        assert!(rel < 0.30, "{:?} H={}: {rel}", row.design, row.param);
+    }
+}

@@ -1,0 +1,84 @@
+//! Failure-injection style tests: drive each number system to (and past)
+//! its range limits and verify the failure modes match the paper's
+//! Section VI-D observations.
+
+use compstat::bigfloat::{BigFloat, Context};
+use compstat::core::{relative_error, ErrorClass, StatFloat};
+use compstat::logspace::LogF64;
+use compstat::posit::{P64E12, P64E18, P64E9};
+
+/// Drive a product chain down to `target_exp` and measure each format.
+fn product_chain_error<T: StatFloat>(target_exp: i64) -> (bool, f64) {
+    let steps = 64;
+    let per_step = target_exp as f64 / steps as f64;
+    let factor_exp = per_step.floor() as i64;
+    let ctx = Context::new(256);
+    let factor = BigFloat::pow2(factor_exp);
+    let mut oracle = BigFloat::one();
+    let mut val = T::one();
+    let tf = T::from_bigfloat(&factor);
+    for _ in 0..steps {
+        oracle = ctx.mul(&oracle, &factor);
+        val = val.mul(tf);
+    }
+    let m = relative_error(&oracle, &val.to_bigfloat(), &ctx);
+    (m.class == ErrorClass::UnderflowToZero, m.log10_rel)
+}
+
+#[test]
+fn posit64_9_saturates_past_its_minpos() {
+    // Below 2^-31744 posit(64,9) saturates at minpos -> enormous
+    // relative error but NOT zero (posit never underflows to zero).
+    let (under, err) = product_chain_error::<P64E9>(-64_000);
+    assert!(!under, "posit never rounds to zero");
+    assert!(err > 1_000.0, "saturation error is astronomical: {err}");
+    // The paper observed relative errors ~10^295 for posit(64,9).
+}
+
+#[test]
+fn posit64_12_handles_100k_but_not_300k() {
+    let (_, err_ok) = product_chain_error::<P64E12>(-100_000);
+    assert!(err_ok < -8.0, "posit(64,12) accurate at 2^-100k: {err_ok}");
+    let (under, err_bad) = product_chain_error::<P64E12>(-300_000);
+    assert!(!under);
+    assert!(err_bad > 0.0, "posit(64,12) saturates by 2^-300k: {err_bad}");
+}
+
+#[test]
+fn posit64_18_covers_the_whole_lofreq_range() {
+    // Deepest observed p-value: 2^-434,916. posit(64,18) must stay sharp.
+    let (under, err) = product_chain_error::<P64E18>(-434_916);
+    assert!(!under);
+    assert!(err < -6.0, "posit(64,18) at the LoFreq extreme: {err}");
+}
+
+#[test]
+fn log_space_is_effectively_unbounded_but_coarse() {
+    let (under, err) = product_chain_error::<LogF64>(-434_916);
+    assert!(!under);
+    assert!(err < -6.0, "log-space survives: {err}");
+    // ...but posit(64,18) is finer at the same magnitude.
+    let (_, perr) = product_chain_error::<P64E18>(-434_916);
+    assert!(perr < err, "posit {perr} sharper than log {err}");
+}
+
+#[test]
+fn binary64_underflows_exactly_below_1074() {
+    let (under_hi, _) = product_chain_error::<f64>(-960);
+    assert!(!under_hi, "in range");
+    let (under_lo, _) = product_chain_error::<f64>(-1_280);
+    assert!(under_lo, "below 2^-1074");
+}
+
+#[test]
+fn posit_nar_and_log_nan_do_not_escape_silently() {
+    // Division by zero must be loudly invalid in both systems.
+    let p = P64E12::ONE / P64E12::ZERO;
+    assert!(p.is_nar());
+    let l = LogF64::ONE / LogF64::ZERO;
+    assert!(!l.is_valid());
+    // And the error metric classifies them as Invalid.
+    let ctx = Context::new(128);
+    let m = relative_error(&BigFloat::one(), &p.to_bigfloat(), &ctx);
+    assert_eq!(m.class, ErrorClass::Invalid);
+}
