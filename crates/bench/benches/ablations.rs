@@ -3,8 +3,14 @@ use compstat_bench::{experiments, print_report, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    print_report("Ablation: posit ES sweep", &experiments::ablation_es_sweep(scale));
-    print_report("Ablation: LSE variants", &experiments::ablation_lse_variants(scale));
+    print_report(
+        "Ablation: posit ES sweep",
+        &experiments::ablation_es_sweep(scale),
+    );
+    print_report(
+        "Ablation: LSE variants",
+        &experiments::ablation_lse_variants(scale),
+    );
     print_report(
         "Ablation: rescaling vs log vs posit forward",
         &experiments::ablation_scaled_forward(scale),

@@ -43,7 +43,7 @@ fn bench_scalar_ops(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = LogF64::ZERO;
             for (&x, &y) in lx.iter().zip(&ly) {
-                acc = acc * (black_box(x) + black_box(y));
+                acc *= black_box(x) + black_box(y);
             }
             acc
         })

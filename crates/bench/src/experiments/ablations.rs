@@ -15,7 +15,9 @@ use compstat_core::error::measure;
 use compstat_core::report::{fmt_f64, Table};
 use compstat_core::sample::{sample_additions, sample_multiplications};
 use compstat_core::{Cdf, StatFloat};
-use compstat_hmm::{dirichlet_hmm, forward, forward_log, forward_oracle, forward_scaled, uniform_observations};
+use compstat_hmm::{
+    dirichlet_hmm, forward, forward_log, forward_oracle, forward_scaled, uniform_observations,
+};
 use compstat_logspace::LogF64;
 use compstat_posit::{P64E12, P64E15, P64E18, P64E21, P64E6, P64E9};
 use rand::rngs::StdRng;
@@ -31,8 +33,14 @@ pub fn ablation_es_sweep(scale: Scale) -> String {
     let corpus = sample_multiplications(&mut rng, n, -10_050, 0, &ctx);
     let buckets = [
         ExponentBucket { lo: -100, hi: 1 },
-        ExponentBucket { lo: -2_000, hi: -1_022 },
-        ExponentBucket { lo: -10_000, hi: -6_000 },
+        ExponentBucket {
+            lo: -2_000,
+            hi: -1_022,
+        },
+        ExponentBucket {
+            lo: -10_000,
+            hi: -6_000,
+        },
     ];
     let mut t = Table::new(vec![
         "format".into(),
@@ -45,9 +53,18 @@ pub fn ablation_es_sweep(scale: Scale) -> String {
             let acc = bucketed_accuracy::<$ty>(OpKind::Mul, &corpus, &buckets, -18.5, &ctx);
             t.row(vec![
                 <$ty as StatFloat>::NAME.into(),
-                acc[0].stats.as_ref().map_or("-".into(), |s| fmt_f64(s.p50, 2)),
-                acc[1].stats.as_ref().map_or("-".into(), |s| fmt_f64(s.p50, 2)),
-                acc[2].stats.as_ref().map_or("-".into(), |s| fmt_f64(s.p50, 2)),
+                acc[0]
+                    .stats
+                    .as_ref()
+                    .map_or("-".into(), |s| fmt_f64(s.p50, 2)),
+                acc[1]
+                    .stats
+                    .as_ref()
+                    .map_or("-".into(), |s| fmt_f64(s.p50, 2)),
+                acc[2]
+                    .stats
+                    .as_ref()
+                    .map_or("-".into(), |s| fmt_f64(s.p50, 2)),
             ]);
         }};
     }
@@ -78,7 +95,11 @@ pub fn ablation_lse_variants(scale: Scale) -> String {
         let a = LogF64::from_bigfloat(&s.a, &ctx);
         let b = LogF64::from_bigfloat(&s.b, &ctx);
         sw.push(measure(&s.exact, &(a + b), &ctx).log10_rel.max(-18.5));
-        hw.push(measure(&s.exact, &a.add_hw_dataflow(b), &ctx).log10_rel.max(-18.5));
+        hw.push(
+            measure(&s.exact, &a.add_hw_dataflow(b), &ctx)
+                .log10_rel
+                .max(-18.5),
+        );
     }
     let (sw, hw) = (Cdf::new(&sw), Cdf::new(&hw));
     format!(

@@ -21,7 +21,11 @@ pub fn figure1_report(scale: Scale) -> String {
     let ctx = Context::new(192);
     let trace = forward_trace(&model, &obs, &ctx, stride);
 
-    let mut table = Table::new(vec!["iteration t".into(), "exponent of alpha".into(), "note".into()]);
+    let mut table = Table::new(vec![
+        "iteration t".into(),
+        "exponent of alpha".into(),
+        "note".into(),
+    ]);
     let mut crossed = false;
     for p in &trace {
         let note = if !crossed && p.exponent < -1_074 {

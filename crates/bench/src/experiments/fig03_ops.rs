@@ -35,11 +35,26 @@ pub fn figure3_report(scale: Scale) -> String {
 fn panel(title: &str, op: OpKind, corpus: &[SampledOp], ctx: &Context) -> String {
     let buckets = figure3_buckets();
     let results: Vec<(&str, Vec<BucketAccuracy>)> = vec![
-        ("binary64", bucketed_accuracy::<f64>(op, corpus, &buckets, FLOOR_LOG10, ctx)),
-        ("Log", bucketed_accuracy::<LogF64>(op, corpus, &buckets, FLOOR_LOG10, ctx)),
-        ("posit(64,9)", bucketed_accuracy::<P64E9>(op, corpus, &buckets, FLOOR_LOG10, ctx)),
-        ("posit(64,12)", bucketed_accuracy::<P64E12>(op, corpus, &buckets, FLOOR_LOG10, ctx)),
-        ("posit(64,18)", bucketed_accuracy::<P64E18>(op, corpus, &buckets, FLOOR_LOG10, ctx)),
+        (
+            "binary64",
+            bucketed_accuracy::<f64>(op, corpus, &buckets, FLOOR_LOG10, ctx),
+        ),
+        (
+            "Log",
+            bucketed_accuracy::<LogF64>(op, corpus, &buckets, FLOOR_LOG10, ctx),
+        ),
+        (
+            "posit(64,9)",
+            bucketed_accuracy::<P64E9>(op, corpus, &buckets, FLOOR_LOG10, ctx),
+        ),
+        (
+            "posit(64,12)",
+            bucketed_accuracy::<P64E12>(op, corpus, &buckets, FLOOR_LOG10, ctx),
+        ),
+        (
+            "posit(64,18)",
+            bucketed_accuracy::<P64E18>(op, corpus, &buckets, FLOOR_LOG10, ctx),
+        ),
     ];
 
     let mut t = Table::new(vec![
@@ -97,16 +112,15 @@ fn panel(title: &str, op: OpKind, corpus: &[SampledOp], ctx: &Context) -> String
             }
         }
     }
-    format!("{title} — log10(relative error), five-number summaries\n{}", t.render())
+    format!(
+        "{title} — log10(relative error), five-number summaries\n{}",
+        t.render()
+    )
 }
 
 /// Extracts median log10 errors per (format, bucket) for assertions.
 #[must_use]
-pub fn figure3_medians(
-    op: OpKind,
-    n: usize,
-    seed: u64,
-) -> Vec<(&'static str, Vec<Option<f64>>)> {
+pub fn figure3_medians(op: OpKind, n: usize, seed: u64) -> Vec<(&'static str, Vec<Option<f64>>)> {
     let ctx = Context::new(256);
     let mut rng = StdRng::seed_from_u64(seed);
     let corpus = match op {
@@ -114,18 +128,61 @@ pub fn figure3_medians(
         OpKind::Mul => sample_multiplications(&mut rng, n, -10_050, 0, &ctx),
     };
     let buckets = figure3_buckets();
-    let med = |acc: &[BucketAccuracy]| acc.iter().map(|a| a.stats.as_ref().map(|s| s.p50)).collect();
+    let med = |acc: &[BucketAccuracy]| {
+        acc.iter()
+            .map(|a| a.stats.as_ref().map(|s| s.p50))
+            .collect()
+    };
     vec![
-        ("binary64", med(&bucketed_accuracy::<f64>(op, &corpus, &buckets, FLOOR_LOG10, &ctx))),
-        ("Log", med(&bucketed_accuracy::<LogF64>(op, &corpus, &buckets, FLOOR_LOG10, &ctx))),
-        ("posit(64,9)", med(&bucketed_accuracy::<P64E9>(op, &corpus, &buckets, FLOOR_LOG10, &ctx))),
+        (
+            "binary64",
+            med(&bucketed_accuracy::<f64>(
+                op,
+                &corpus,
+                &buckets,
+                FLOOR_LOG10,
+                &ctx,
+            )),
+        ),
+        (
+            "Log",
+            med(&bucketed_accuracy::<LogF64>(
+                op,
+                &corpus,
+                &buckets,
+                FLOOR_LOG10,
+                &ctx,
+            )),
+        ),
+        (
+            "posit(64,9)",
+            med(&bucketed_accuracy::<P64E9>(
+                op,
+                &corpus,
+                &buckets,
+                FLOOR_LOG10,
+                &ctx,
+            )),
+        ),
         (
             "posit(64,12)",
-            med(&bucketed_accuracy::<P64E12>(op, &corpus, &buckets, FLOOR_LOG10, &ctx)),
+            med(&bucketed_accuracy::<P64E12>(
+                op,
+                &corpus,
+                &buckets,
+                FLOOR_LOG10,
+                &ctx,
+            )),
         ),
         (
             "posit(64,18)",
-            med(&bucketed_accuracy::<P64E18>(op, &corpus, &buckets, FLOOR_LOG10, &ctx)),
+            med(&bucketed_accuracy::<P64E18>(
+                op,
+                &corpus,
+                &buckets,
+                FLOOR_LOG10,
+                &ctx,
+            )),
         ),
     ]
 }
@@ -150,25 +207,39 @@ mod tests {
         // shrink. Key takeaway 2: outside the range, posits beat log.
         let med = figure3_medians(OpKind::Mul, 4_000, 17);
         let get = |name: &str| {
-            med.iter().find(|(n, _)| *n == name).map(|(_, v)| v.clone()).expect("format present")
+            med.iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| v.clone())
+                .expect("format present")
         };
         let b64 = get("binary64");
         let log = get("Log");
         let p18 = get("posit(64,18)");
         let p9 = get("posit(64,9)");
         // Bucket 7 = [-100, -10): binary64 more accurate than log.
-        let (Some(b), Some(l)) = (b64[7], log[7]) else { panic!("missing medians") };
+        let (Some(b), Some(l)) = (b64[7], log[7]) else {
+            panic!("missing medians")
+        };
         assert!(b < l, "binary64 median {b} must beat log {l} in range");
         // Log accuracy degrades as magnitudes shrink within range:
         // bucket 5 [-1022,-500) worse than bucket 8 [-10, 1).
-        let (Some(l5), Some(l8)) = (log[5], log[8]) else { panic!() };
+        let (Some(l5), Some(l8)) = (log[5], log[8]) else {
+            panic!()
+        };
         assert!(l5 > l8, "log error grows as numbers shrink: {l5} vs {l8}");
         // Outside binary64's range (bucket 2 = [-6000,-4000)): posit(64,18)
         // beats log.
-        let (Some(p), Some(l2)) = (p18[2], log[2]) else { panic!() };
+        let (Some(p), Some(l2)) = (p18[2], log[2]) else {
+            panic!()
+        };
         assert!(p < l2, "posit(64,18) {p} must beat log {l2} out of range");
         // posit(64,9) is the most accurate format within binary64's range.
-        let (Some(p9m), Some(bm)) = (p9[8], b64[8]) else { panic!() };
-        assert!(p9m <= bm + 0.2, "posit(64,9) {p9m} ~ binary64 {bm} near 1.0");
+        let (Some(p9m), Some(bm)) = (p9[8], b64[8]) else {
+            panic!()
+        };
+        assert!(
+            p9m <= bm + 0.2,
+            "posit(64,9) {p9m} ~ binary64 {bm} near 1.0"
+        );
     }
 }

@@ -5,8 +5,12 @@ use compstat_core::report::{fmt_f64, Table};
 use compstat_fpga::{Design, ForwardUnit};
 
 /// Paper-reported Figure 6(a) values for comparison.
-const PAPER: [(u64, f64, f64); 4] =
-    [(13, 0.14, 0.21), (32, 0.17, 0.25), (64, 0.25, 0.32), (128, 0.55, 0.66)];
+const PAPER: [(u64, f64, f64); 4] = [
+    (13, 0.14, 0.21),
+    (32, 0.17, 0.25),
+    (64, 0.25, 0.32),
+    (128, 0.55, 0.66),
+];
 
 /// Renders Figure 6(a) (seconds) and 6(b) (relative improvement).
 #[must_use]

@@ -66,7 +66,10 @@ pub fn figure8_report() -> String {
             format!("{:.2}x", p.mmaps_per_clb / l.mmaps_per_clb),
         ]);
     }
-    format!("paper: posit sustains ~2x MMAPS per CLB on all datasets\n{}", t.render())
+    format!(
+        "paper: posit sustains ~2x MMAPS per CLB on all datasets\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

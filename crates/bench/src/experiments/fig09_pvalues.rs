@@ -22,7 +22,13 @@ pub struct ColumnEval {
 }
 
 /// The format set of Figures 9/11.
-pub const FORMATS: [&str; 5] = ["binary64", "Log", "posit(64,9)", "posit(64,12)", "posit(64,18)"];
+pub const FORMATS: [&str; 5] = [
+    "binary64",
+    "Log",
+    "posit(64,9)",
+    "posit(64,12)",
+    "posit(64,18)",
+];
 
 /// Evaluates every column in every format against the oracle.
 #[must_use]
@@ -38,7 +44,10 @@ pub fn evaluate_corpus(columns: &[Column], ctx: &Context) -> Vec<ColumnEval> {
                 ("posit(64,12)", measure_as::<P64E12>(col, &oracle, ctx)),
                 ("posit(64,18)", measure_as::<P64E18>(col, &oracle, ctx)),
             ];
-            ColumnEval { oracle_exp: oracle.exponent(), errors }
+            ColumnEval {
+                oracle_exp: oracle.exponent(),
+                errors,
+            }
         })
         .collect()
 }

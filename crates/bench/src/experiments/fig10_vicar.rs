@@ -45,7 +45,11 @@ pub fn vicar_errors(t_len: usize, models: usize, h: usize, seed: u64) -> VicarEr
         let p: P64E18 = forward(&model.prepare(), &obs);
         posit_errors.push(measure(&oracle, &p, &ctx).log10_rel);
     }
-    VicarErrors { t_len, log_errors, posit_errors }
+    VicarErrors {
+        t_len,
+        log_errors,
+        posit_errors,
+    }
 }
 
 /// Renders the two CDFs (Figure 10a/10b) plus the paper's headline
@@ -115,7 +119,10 @@ mod tests {
         let long = vicar_errors(4_000, 3, 4, 7);
         let ms = Cdf::new(&short.log_errors).quantile(0.5);
         let ml = Cdf::new(&long.log_errors).quantile(0.5);
-        assert!(ml >= ms - 0.3, "log error should not shrink with T: {ms} -> {ml}");
+        assert!(
+            ml >= ms - 0.3,
+            "log error should not shrink with T: {ms} -> {ml}"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub fn figure11_report(scale: Scale) -> String {
     let evals = evaluate_corpus(&corpus, &ctx);
 
     let mut out = String::new();
-    for (panel, critical) in [("(a) p-values < 2^-200 (critical)", true), ("(b) p-values >= 2^-200", false)] {
+    for (panel, critical) in [
+        ("(a) p-values < 2^-200 (critical)", true),
+        ("(b) p-values >= 2^-200", false),
+    ] {
         let mut per_format: Vec<Vec<f64>> = vec![Vec::new(); FORMATS.len()];
         for e in &evals {
             let Some(exp) = e.oracle_exp else { continue };

@@ -5,8 +5,8 @@
 use compstat_core::report::{fmt_reduction, Table};
 use compstat_fpga::{
     column_pe, column_unit_resources, forward_pe, forward_unit_resources, paper_column_rows,
-    paper_forward_rows, render_timeline, simulate_forward, table2_units, units_per_slr,
-    ColumnUnit, Design, ForwardUnit,
+    paper_forward_rows, render_timeline, simulate_forward, table2_units, units_per_slr, ColumnUnit,
+    Design, ForwardUnit,
 };
 use compstat_posit::FormatInfo;
 
@@ -19,7 +19,12 @@ pub fn table1_report() -> String {
         "Smallest positive".into(),
         "Max fraction bits".into(),
     ]);
-    t.row(vec!["binary64".into(), "-".into(), "2^-1074".into(), "52".into()]);
+    t.row(vec![
+        "binary64".into(),
+        "-".into(),
+        "2^-1074".into(),
+        "52".into(),
+    ]);
     for es in [6u32, 9, 12, 15, 18, 21] {
         let info = FormatInfo::new(64, es);
         t.row(vec![
@@ -85,7 +90,12 @@ pub fn figure4_report() -> String {
     for h in [13u64, 32, 64, 128] {
         let l = forward_pe(Design::LogSpace, h).latency();
         let p = forward_pe(Design::Posit64Es18, h).latency();
-        t.row(vec![h.to_string(), l.to_string(), p.to_string(), (l - p).to_string()]);
+        t.row(vec![
+            h.to_string(),
+            l.to_string(),
+            p.to_string(),
+            (l - p).to_string(),
+        ]);
     }
     out.push_str(&t.render());
     out.push_str(&format!(
@@ -142,8 +152,9 @@ pub fn table3_report() -> String {
                 format!("{:.0}", unit.max_clock_mhz()),
                 "model".into(),
             ]);
-            if let Some(row) =
-                paper_forward_rows().iter().find(|r| r.design == design && r.param == h)
+            if let Some(row) = paper_forward_rows()
+                .iter()
+                .find(|r| r.design == design && r.param == h)
             {
                 t.row(vec![
                     "".into(),
@@ -252,7 +263,12 @@ mod tests {
     #[test]
     fn table2_lists_all_units() {
         let r = table2_report();
-        for name in ["binary64 add", "Log add", "posit(64,12) add", "posit(64,18) mul"] {
+        for name in [
+            "binary64 add",
+            "Log add",
+            "posit(64,12) add",
+            "posit(64,18) mul",
+        ] {
             assert!(r.contains(name), "missing {name}");
         }
     }

@@ -36,7 +36,10 @@ impl Context {
     /// Panics if `prec` is outside `[2, 16384]`.
     #[must_use]
     pub fn new(prec: u32) -> Context {
-        assert!((MIN_PREC..=MAX_PREC).contains(&prec), "precision {prec} out of [2, 16384]");
+        assert!(
+            (MIN_PREC..=MAX_PREC).contains(&prec),
+            "precision {prec} out of [2, 16384]"
+        );
         Context { prec }
     }
 
@@ -89,14 +92,14 @@ impl Default for Context {
 }
 
 fn nlimbs(prec: u32) -> usize {
-    ((prec + limb::LIMB_BITS - 1) / limb::LIMB_BITS) as usize
+    prec.div_ceil(limb::LIMB_BITS) as usize
 }
 
 /// Places `src` (normalized: top bit of last limb set) into a fresh array
 /// of `wl` limbs with its top bit at bit index `wl*64 - 2` (one headroom
 /// bit below the array MSB).
 fn place_with_headroom(src: &[u64], wl: usize) -> Vec<u64> {
-    debug_assert!(wl >= src.len() + 1);
+    debug_assert!(wl > src.len());
     let mut arr = vec![0u64; wl];
     // Copy into the high limbs, then shift right by 1 to create headroom.
     arr[wl - src.len()..].copy_from_slice(src);
@@ -108,7 +111,11 @@ fn place_with_headroom(src: &[u64], wl: usize) -> Vec<u64> {
 fn add_signed(a: &BigFloat, b: &BigFloat, negate_b: bool, prec: u32) -> BigFloat {
     let (sa, ka, ea, la, _) = a.parts();
     let (sb0, kb, eb, lb, _) = b.parts();
-    let sb = if negate_b && !matches!(kb, Kind::Zero | Kind::Nan) { sb0.negate() } else { sb0 };
+    let sb = if negate_b && !matches!(kb, Kind::Zero | Kind::Nan) {
+        sb0.negate()
+    } else {
+        sb0
+    };
     match (ka, kb) {
         (Kind::Nan, _) | (_, Kind::Nan) => return BigFloat::special(Kind::Nan, Sign::Pos, prec),
         (Kind::Inf, Kind::Inf) => {
@@ -135,8 +142,11 @@ fn add_signed(a: &BigFloat, b: &BigFloat, negate_b: bool, prec: u32) -> BigFloat
         core::cmp::Ordering::Less => false,
         core::cmp::Ordering::Equal => cmp_magnitude(la, lb) != core::cmp::Ordering::Less,
     };
-    let (sx, ex, lx, sy, ey, ly) =
-        if a_larger { (sa, ea, la, sb, eb, lb) } else { (sb, eb, lb, sa, ea, la) };
+    let (sx, ex, lx, sy, ey, ly) = if a_larger {
+        (sa, ea, la, sb, eb, lb)
+    } else {
+        (sb, eb, lb, sa, ea, la)
+    };
 
     let wl = lx.len().max(ly.len()).max(nlimbs(prec)) + 2;
     let top_pos = wl as u64 * 64 - 2;
@@ -282,7 +292,7 @@ fn div_impl(a: &BigFloat, b: &BigFloat, prec: u32) -> BigFloat {
     limb::shr_in_place_sticky(&mut den, 1);
 
     let qbits = prec as u64 + 3;
-    let qlimbs = ((qbits + 63) / 64) as usize;
+    let qlimbs = qbits.div_ceil(64) as usize;
     let mut q = vec![0u64; qlimbs];
     let mut tmp = vec![0u64; wl];
     for i in 0..qbits {
@@ -388,8 +398,14 @@ mod tests {
     #[test]
     fn mul_matches_f64() {
         let c = Context::new(53);
-        let cases: [(f64, f64); 6] =
-            [(1.5, 2.25), (0.1, 0.2), (1e150, 1e-150), (-3.0, 7.0), (0.3, 0.3), (1e-200, 1e-120)];
+        let cases: [(f64, f64); 6] = [
+            (1.5, 2.25),
+            (0.1, 0.2),
+            (1e150, 1e-150),
+            (-3.0, 7.0),
+            (0.3, 0.3),
+            (1e-200, 1e-120),
+        ];
         for (x, y) in cases {
             let r = c.mul(&BigFloat::from_f64(x), &BigFloat::from_f64(y));
             assert_eq!(r.to_f64(), x * y, "mul({x}, {y})");
@@ -399,8 +415,14 @@ mod tests {
     #[test]
     fn div_matches_f64() {
         let c = Context::new(53);
-        let cases: [(f64, f64); 6] =
-            [(1.0, 3.0), (2.0, 7.0), (1e300, 1e-5), (-10.0, 4.0), (0.3, 0.7), (1.0, 10.0)];
+        let cases: [(f64, f64); 6] = [
+            (1.0, 3.0),
+            (2.0, 7.0),
+            (1e300, 1e-5),
+            (-10.0, 4.0),
+            (0.3, 0.7),
+            (1.0, 10.0),
+        ];
         for (x, y) in cases {
             let r = c.div(&BigFloat::from_f64(x), &BigFloat::from_f64(y));
             assert_eq!(r.to_f64(), x / y, "div({x}, {y})");

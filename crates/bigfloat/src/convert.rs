@@ -12,7 +12,11 @@ impl BigFloat {
     #[must_use]
     pub fn from_f64(x: f64) -> BigFloat {
         let bits = x.to_bits();
-        let sign = if bits >> 63 == 1 { Sign::Neg } else { Sign::Pos };
+        let sign = if bits >> 63 == 1 {
+            Sign::Neg
+        } else {
+            Sign::Pos
+        };
         let biased = ((bits >> 52) & 0x7FF) as i64;
         let frac = bits & ((1u64 << 52) - 1);
         match biased {
@@ -97,7 +101,11 @@ impl BigFloat {
             // [2^-1075, 2^-1074); exactly 2^-1075 ties to even (zero).
             if exp == -1075 {
                 let exactly_half = m == 1u64 << 63 && !sticky;
-                return if exactly_half { sgn * 0.0 } else { sgn * f64::from_bits(1) };
+                return if exactly_half {
+                    sgn * 0.0
+                } else {
+                    sgn * f64::from_bits(1)
+                };
             }
             return sgn * 0.0;
         }
@@ -139,7 +147,13 @@ impl BigFloat {
         let (sign, kind, exp, limbs, _) = self.parts();
         match kind {
             Kind::Zero | Kind::Nan => return 0,
-            Kind::Inf => return if sign == Sign::Neg { i64::MIN } else { i64::MAX },
+            Kind::Inf => {
+                return if sign == Sign::Neg {
+                    i64::MIN
+                } else {
+                    i64::MAX
+                }
+            }
             Kind::Normal => {}
         }
         if exp < -1 {
@@ -153,7 +167,11 @@ impl BigFloat {
             return if sign == Sign::Neg { -v } else { v };
         }
         if exp >= 63 {
-            return if sign == Sign::Neg { i64::MIN } else { i64::MAX };
+            return if sign == Sign::Neg {
+                i64::MIN
+            } else {
+                i64::MAX
+            };
         }
         let n = limbs.len();
         let m = limbs[n - 1];
@@ -208,8 +226,8 @@ mod tests {
             1.5e308,
             -2.2e-308,
             f64::MIN_POSITIVE,
-            f64::from_bits(1),          // min subnormal
-            f64::from_bits(0xF_FFFF),   // random subnormal
+            f64::from_bits(1),        // min subnormal
+            f64::from_bits(0xF_FFFF), // random subnormal
             f64::EPSILON,
             123456.789,
             -0.000123,
@@ -219,7 +237,10 @@ mod tests {
         }
         assert!(BigFloat::from_f64(f64::NAN).to_f64().is_nan());
         assert_eq!(BigFloat::from_f64(f64::INFINITY).to_f64(), f64::INFINITY);
-        assert_eq!(BigFloat::from_f64(f64::NEG_INFINITY).to_f64(), f64::NEG_INFINITY);
+        assert_eq!(
+            BigFloat::from_f64(f64::NEG_INFINITY).to_f64(),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::arith::Context;
 use crate::limb;
 use crate::repr::{BigFloat, Kind, Sign};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 static LN2_CACHE: Mutex<Option<BigFloat>> = Mutex::new(None);
 
@@ -69,8 +69,15 @@ fn compute_ln2(prec: u32) -> BigFloat {
 /// Returns `ln 2` rounded to `prec` bits (cached across calls).
 #[must_use]
 pub fn ln2(prec: u32) -> BigFloat {
+    // The cached value is always a fully-constructed BigFloat, so a
+    // panic elsewhere while the lock was held (e.g. an out-of-range
+    // `prec` asserting inside `round_to` below) cannot leave it torn:
+    // recover from poisoning instead of propagating it to every later
+    // caller.
     {
-        let guard = LN2_CACHE.lock();
+        let guard = LN2_CACHE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(v) = &*guard {
             if v.precision() >= prec {
                 return v.round_to(prec);
@@ -80,7 +87,9 @@ pub fn ln2(prec: u32) -> BigFloat {
     // Compute with headroom so repeated small bumps don't recompute.
     let fresh = compute_ln2(prec.max(320) + 64);
     let out = fresh.round_to(prec);
-    *LN2_CACHE.lock() = Some(fresh);
+    *LN2_CACHE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(fresh);
     out
 }
 

@@ -16,7 +16,11 @@ impl BigFloat {
             Kind::Zero => return "0".to_string(),
             Kind::Nan => return "NaN".to_string(),
             Kind::Inf => {
-                return if self.sign() == Sign::Neg { "-inf".to_string() } else { "inf".to_string() }
+                return if self.sign() == Sign::Neg {
+                    "-inf".to_string()
+                } else {
+                    "inf".to_string()
+                }
             }
             Kind::Normal => {}
         }

@@ -87,7 +87,11 @@ pub fn shl_in_place(limbs: &mut [u64], k: u32) {
     } else {
         for i in (limb_shift..n).rev() {
             let lo = limbs[i - limb_shift];
-            let lo2 = if i > limb_shift { limbs[i - limb_shift - 1] } else { 0 };
+            let lo2 = if i > limb_shift {
+                limbs[i - limb_shift - 1]
+            } else {
+                0
+            };
             limbs[i] = (lo << bit_shift) | (lo2 >> (LIMB_BITS - bit_shift));
         }
     }
@@ -120,7 +124,11 @@ pub fn shr_in_place_sticky(limbs: &mut [u64], k: u32) -> bool {
     } else {
         for i in 0..n - limb_shift {
             let hi = limbs[i + limb_shift];
-            let hi2 = if i + limb_shift + 1 < n { limbs[i + limb_shift + 1] } else { 0 };
+            let hi2 = if i + limb_shift + 1 < n {
+                limbs[i + limb_shift + 1]
+            } else {
+                0
+            };
             limbs[i] = (hi >> bit_shift) | (hi2 << (LIMB_BITS - bit_shift));
         }
     }

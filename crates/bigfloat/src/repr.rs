@@ -102,19 +102,37 @@ impl BigFloat {
     /// The single zero value.
     #[must_use]
     pub fn zero() -> BigFloat {
-        BigFloat { sign: Sign::Pos, kind: Kind::Zero, exp: 0, limbs: Vec::new(), prec: DEFAULT_PREC }
+        BigFloat {
+            sign: Sign::Pos,
+            kind: Kind::Zero,
+            exp: 0,
+            limbs: Vec::new(),
+            prec: DEFAULT_PREC,
+        }
     }
 
     /// Positive or negative infinity.
     #[must_use]
     pub fn infinity(sign: Sign) -> BigFloat {
-        BigFloat { sign, kind: Kind::Inf, exp: 0, limbs: Vec::new(), prec: DEFAULT_PREC }
+        BigFloat {
+            sign,
+            kind: Kind::Inf,
+            exp: 0,
+            limbs: Vec::new(),
+            prec: DEFAULT_PREC,
+        }
     }
 
     /// Not-a-number.
     #[must_use]
     pub fn nan() -> BigFloat {
-        BigFloat { sign: Sign::Pos, kind: Kind::Nan, exp: 0, limbs: Vec::new(), prec: DEFAULT_PREC }
+        BigFloat {
+            sign: Sign::Pos,
+            kind: Kind::Nan,
+            exp: 0,
+            limbs: Vec::new(),
+            prec: DEFAULT_PREC,
+        }
     }
 
     /// One, at default precision.
@@ -229,7 +247,13 @@ impl BigFloat {
     ///
     /// This is the single rounding point shared by all arithmetic.
     #[must_use]
-    pub(crate) fn from_raw(sign: Sign, exp_of_top_bit: i64, mut limbs: Vec<u64>, sticky_in: bool, prec: u32) -> BigFloat {
+    pub(crate) fn from_raw(
+        sign: Sign,
+        exp_of_top_bit: i64,
+        mut limbs: Vec<u64>,
+        sticky_in: bool,
+        prec: u32,
+    ) -> BigFloat {
         debug_assert!((MIN_PREC..=MAX_PREC).contains(&prec));
         let Some(top) = limb::highest_bit(&limbs) else {
             // All bits zero. If sticky is set the true value was a tiny
@@ -276,7 +300,7 @@ impl BigFloat {
     /// MSB of the top limb, trims to `ceil(prec/64)` limbs.
     fn finish(sign: Sign, exp: i64, mut limbs: Vec<u64>, prec: u32) -> BigFloat {
         let top = limb::highest_bit(&limbs).expect("finish on zero magnitude");
-        let nlimbs = ((prec + limb::LIMB_BITS - 1) / limb::LIMB_BITS) as usize;
+        let nlimbs = prec.div_ceil(limb::LIMB_BITS) as usize;
         let want_top = nlimbs as u64 * 64 - 1;
         match want_top.cmp(&top) {
             core::cmp::Ordering::Greater => {
@@ -298,13 +322,22 @@ impl BigFloat {
         limbs.truncate(nlimbs);
         debug_assert_eq!(limbs.len(), nlimbs);
         debug_assert!(limbs[nlimbs - 1] >> 63 == 1);
-        BigFloat { sign, kind: Kind::Normal, exp, limbs, prec }
+        BigFloat {
+            sign,
+            kind: Kind::Normal,
+            exp,
+            limbs,
+            prec,
+        }
     }
 
     /// Re-rounds this value to a (typically lower) precision.
     #[must_use]
     pub fn round_to(&self, prec: u32) -> BigFloat {
-        assert!((MIN_PREC..=MAX_PREC).contains(&prec), "precision out of range");
+        assert!(
+            (MIN_PREC..=MAX_PREC).contains(&prec),
+            "precision out of range"
+        );
         match self.kind {
             Kind::Normal => {
                 BigFloat::from_raw(self.sign, self.exp, self.limbs.clone(), false, prec)
@@ -353,7 +386,13 @@ impl BigFloat {
 
     /// Internal constructor for special values carrying a precision tag.
     pub(crate) fn special(kind: Kind, sign: Sign, prec: u32) -> BigFloat {
-        BigFloat { sign, kind, exp: 0, limbs: Vec::new(), prec }
+        BigFloat {
+            sign,
+            kind,
+            exp: 0,
+            limbs: Vec::new(),
+            prec,
+        }
     }
 }
 

@@ -55,11 +55,10 @@ proptest! {
         let c = Context::new(53);
         let r = c.div(&BigFloat::from_f64(x), &BigFloat::from_f64(y)).to_f64();
         let expect = x / y;
-        if expect.is_finite() && (expect == 0.0 || expect.abs() >= f64::MIN_POSITIVE) {
-            if expect != 0.0 || x == 0.0 {
+        if expect.is_finite() && (expect == 0.0 || expect.abs() >= f64::MIN_POSITIVE)
+            && (expect != 0.0 || x == 0.0) {
                 prop_assert_eq!(r, expect, "div({}, {})", x, y);
             }
-        }
     }
 
     #[test]

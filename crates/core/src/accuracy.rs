@@ -117,8 +117,12 @@ pub fn bucketed_accuracy<T: StatFloat>(
     let mut totals = vec![0usize; buckets.len()];
 
     for s in corpus {
-        let Some(e) = s.exact.exponent() else { continue };
-        let Some(idx) = buckets.iter().position(|b| b.contains(e)) else { continue };
+        let Some(e) = s.exact.exponent() else {
+            continue;
+        };
+        let Some(idx) = buckets.iter().position(|b| b.contains(e)) else {
+            continue;
+        };
         let a = T::from_bigfloat(&s.a);
         let b = T::from_bigfloat(&s.b);
         let r = match op {
@@ -187,7 +191,10 @@ mod tests {
         // Out-of-range bucket [-4000,-2000): everything underflows.
         let out = &acc[3];
         assert!(out.total > 0);
-        assert_eq!(out.underflows, out.total, "binary64 must underflow below 2^-1074");
+        assert_eq!(
+            out.underflows, out.total,
+            "binary64 must underflow below 2^-1074"
+        );
     }
 
     #[test]
@@ -216,7 +223,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         // Products near 2^-40000: below posit(64,9) minpos (2^-31744).
         let corpus = sample_multiplications(&mut rng, 50, -40_000, -35_000, &ctx);
-        let bucket = [ExponentBucket { lo: -45_000, hi: -30_000 }];
+        let bucket = [ExponentBucket {
+            lo: -45_000,
+            hi: -30_000,
+        }];
         let acc = bucketed_accuracy::<P64E9>(OpKind::Mul, &corpus, &bucket, -18.5, &ctx);
         // posit never rounds to zero: it saturates at minpos, producing
         // huge relative errors instead of underflows.

@@ -62,30 +62,48 @@ pub fn log10_abs(x: &BigFloat) -> f64 {
 /// Relative error of `computed` against the `reference` oracle value,
 /// evaluated at `ctx` precision.
 #[must_use]
-pub fn relative_error(reference: &BigFloat, computed: &BigFloat, ctx: &Context) -> ErrorMeasurement {
+pub fn relative_error(
+    reference: &BigFloat,
+    computed: &BigFloat,
+    ctx: &Context,
+) -> ErrorMeasurement {
     match (reference.kind(), computed.kind()) {
-        (_, Kind::Nan) | (_, Kind::Inf) => {
-            ErrorMeasurement { log10_rel: f64::INFINITY, class: ErrorClass::Invalid }
-        }
-        (Kind::Zero, Kind::Zero) => {
-            ErrorMeasurement { log10_rel: f64::NEG_INFINITY, class: ErrorClass::Exact }
-        }
+        (_, Kind::Nan) | (_, Kind::Inf) => ErrorMeasurement {
+            log10_rel: f64::INFINITY,
+            class: ErrorClass::Invalid,
+        },
+        (Kind::Zero, Kind::Zero) => ErrorMeasurement {
+            log10_rel: f64::NEG_INFINITY,
+            class: ErrorClass::Exact,
+        },
         (Kind::Zero, _) => {
             // Reference zero, computed nonzero: relative error undefined;
             // treat as invalid (does not occur in the paper's workloads).
-            ErrorMeasurement { log10_rel: f64::INFINITY, class: ErrorClass::Invalid }
+            ErrorMeasurement {
+                log10_rel: f64::INFINITY,
+                class: ErrorClass::Invalid,
+            }
         }
         (Kind::Normal, Kind::Zero) => {
             // |x - 0| / |x| = 1.
-            ErrorMeasurement { log10_rel: 0.0, class: ErrorClass::UnderflowToZero }
+            ErrorMeasurement {
+                log10_rel: 0.0,
+                class: ErrorClass::UnderflowToZero,
+            }
         }
         _ => {
             let diff = ctx.sub(reference, computed).abs();
             if diff.is_zero() {
-                return ErrorMeasurement { log10_rel: f64::NEG_INFINITY, class: ErrorClass::Exact };
+                return ErrorMeasurement {
+                    log10_rel: f64::NEG_INFINITY,
+                    class: ErrorClass::Exact,
+                };
             }
             let rel = ctx.div(&diff, &reference.abs());
-            ErrorMeasurement { log10_rel: log10_abs(&rel), class: ErrorClass::Normal }
+            ErrorMeasurement {
+                log10_rel: log10_abs(&rel),
+                class: ErrorClass::Normal,
+            }
         }
     }
 }
@@ -93,7 +111,11 @@ pub fn relative_error(reference: &BigFloat, computed: &BigFloat, ctx: &Context) 
 /// Computes `reference op-in-format` error in one step: converts the
 /// computed format value to its exact meaning and measures.
 #[must_use]
-pub fn measure<T: StatFloat>(reference: &BigFloat, computed: &T, ctx: &Context) -> ErrorMeasurement {
+pub fn measure<T: StatFloat>(
+    reference: &BigFloat,
+    computed: &T,
+    ctx: &Context,
+) -> ErrorMeasurement {
     relative_error(reference, &computed.to_bigfloat(), ctx)
 }
 

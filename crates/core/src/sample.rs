@@ -206,7 +206,10 @@ mod tests {
         for alpha in [0.5, 1.0, 2.0, 5.0] {
             let n = 20_000;
             let mean: f64 = (0..n).map(|_| gamma(&mut r, alpha)).sum::<f64>() / n as f64;
-            assert!((mean - alpha).abs() < 0.1 * alpha.max(1.0), "alpha={alpha} mean={mean}");
+            assert!(
+                (mean - alpha).abs() < 0.1 * alpha.max(1.0),
+                "alpha={alpha} mean={mean}"
+            );
         }
     }
 

@@ -258,11 +258,23 @@ mod tests {
         assert!(T::zero().is_zero());
         assert!(!T::one().is_zero());
         let sum = T::from_f64(0.25).add(T::from_f64(0.5));
-        assert!((sum.to_bigfloat().to_f64() - 0.75).abs() < 1e-12, "{}", T::NAME);
+        assert!(
+            (sum.to_bigfloat().to_f64() - 0.75).abs() < 1e-12,
+            "{}",
+            T::NAME
+        );
         let prod = T::from_f64(0.25).mul(T::from_f64(0.5));
-        assert!((prod.to_bigfloat().to_f64() - 0.125).abs() < 1e-12, "{}", T::NAME);
+        assert!(
+            (prod.to_bigfloat().to_f64() - 0.125).abs() < 1e-12,
+            "{}",
+            T::NAME
+        );
         let quot = T::from_f64(0.25).div(T::from_f64(0.5));
-        assert!((quot.to_bigfloat().to_f64() - 0.5).abs() < 1e-12, "{}", T::NAME);
+        assert!(
+            (quot.to_bigfloat().to_f64() - 0.5).abs() < 1e-12,
+            "{}",
+            T::NAME
+        );
     }
 
     #[test]
@@ -301,7 +313,13 @@ mod tests {
     fn names_match_paper_legends() {
         assert_eq!(
             paper_format_names(),
-            ["binary64", "Log", "posit(64,9)", "posit(64,12)", "posit(64,18)"]
+            [
+                "binary64",
+                "Log",
+                "posit(64,9)",
+                "posit(64,12)",
+                "posit(64,18)"
+            ]
         );
     }
 }

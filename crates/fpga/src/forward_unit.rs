@@ -57,7 +57,13 @@ impl ForwardUnit {
         let passes = h.div_ceil(lanes);
         // Units are replicated per lane; the reduction tree still spans
         // all H terms (partial sums from later passes merge into it).
-        ForwardUnit { design, h, lanes, passes, pe: forward_pe_with_tree(design, lanes, h) }
+        ForwardUnit {
+            design,
+            h,
+            lanes,
+            passes,
+            pe: forward_pe_with_tree(design, lanes, h),
+        }
     }
 
     /// The design (log-space or posit).
@@ -163,7 +169,11 @@ impl ColumnUnit {
     #[must_use]
     pub fn new(design: Design, pes: u64) -> ColumnUnit {
         assert!(pes >= 1, "need at least one PE");
-        ColumnUnit { design, pes, pe: column_pe(design) }
+        ColumnUnit {
+            design,
+            pes,
+            pe: column_pe(design),
+        }
     }
 
     /// The design.
@@ -198,7 +208,10 @@ impl ColumnUnit {
     /// column unit driver).
     #[must_use]
     pub fn dataset_cycles(&self, columns: &[(u64, u64)]) -> u64 {
-        let mut work: Vec<u64> = columns.iter().map(|&(n, k)| self.column_cycles(n, k)).collect();
+        let mut work: Vec<u64> = columns
+            .iter()
+            .map(|&(n, k)| self.column_cycles(n, k))
+            .collect();
         work.sort_unstable_by(|a, b| b.cmp(a));
         let mut pe_load = vec![0u64; self.pes as usize];
         for w in work {
@@ -317,7 +330,10 @@ mod tests {
             let l = log.column_cycles(1_000, k) as f64;
             let p = posit.column_cycles(1_000, k) as f64;
             let imp = (l - p) / l;
-            assert!((imp - want).abs() < 0.01, "K={k}: improvement {imp} want {want}");
+            assert!(
+                (imp - want).abs() < 0.01,
+                "K={k}: improvement {imp} want {want}"
+            );
         }
     }
 

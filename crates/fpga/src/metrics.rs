@@ -27,7 +27,13 @@ pub fn perf_per_resource(unit: &ColumnUnit, columns: &[(u64, u64)]) -> PerfPerRe
     let mmaps = total_ops as f64 / seconds / 1.0e6;
     let resources = column_unit_resources(unit);
     let mmaps_per_clb = mmaps / resources.clb as f64;
-    PerfPerResource { total_ops, seconds, mmaps, mmaps_per_clb, resources }
+    PerfPerResource {
+        total_ops,
+        seconds,
+        mmaps,
+        mmaps_per_clb,
+        resources,
+    }
 }
 
 #[cfg(test)]
@@ -36,7 +42,9 @@ mod tests {
     use crate::units::Design;
 
     fn toy_dataset() -> Vec<(u64, u64)> {
-        (0..64).map(|i| (200_000 + 1_000 * i, 150 + 5 * i)).collect()
+        (0..64)
+            .map(|i| (200_000 + 1_000 * i, 150 + 5 * i))
+            .collect()
     }
 
     #[test]

@@ -55,11 +55,21 @@ impl PeModel {
     /// packed, calibrated against Table III).
     #[must_use]
     pub fn dsp(&self) -> u64 {
-        self.sum(|u| if u.name.contains("posit") && u.name.contains("mul") { 9 } else { u.dsp })
+        self.sum(|u| {
+            if u.name.contains("posit") && u.name.contains("mul") {
+                9
+            } else {
+                u.dsp
+            }
+        })
     }
 
     fn sum(&self, f: impl Fn(&ArithUnit) -> u64) -> u64 {
-        self.stages.iter().flat_map(|s| &s.units).map(|(u, c)| f(u) * c).sum()
+        self.stages
+            .iter()
+            .flat_map(|s| &s.units)
+            .map(|(u, c)| f(u) * c)
+            .sum()
     }
 }
 
@@ -85,7 +95,10 @@ pub fn forward_pe(design: Design, lanes: u64) -> PeModel {
 #[must_use]
 pub fn forward_pe_with_tree(design: Design, lanes: u64, tree_inputs: u64) -> PeModel {
     assert!(lanes >= 1, "PE needs at least one lane");
-    assert!(tree_inputs >= lanes, "tree cannot be narrower than the lanes");
+    assert!(
+        tree_inputs >= lanes,
+        "tree cannot be narrower than the lanes"
+    );
     let tree = log2_ceil(tree_inputs);
     match design {
         Design::LogSpace => {
@@ -209,8 +222,16 @@ pub fn column_pe(design: Design) -> PeModel {
                         latency: mul.cycles,
                         units: vec![(mul, 2)],
                     },
-                    Stage { name: "add".into(), latency: add.cycles, units: vec![(add, 1)] },
-                    Stage { name: "conditional logic".into(), latency: 2, units: vec![] },
+                    Stage {
+                        name: "add".into(),
+                        latency: add.cycles,
+                        units: vec![(add, 1)],
+                    },
+                    Stage {
+                        name: "conditional logic".into(),
+                        latency: 2,
+                        units: vec![],
+                    },
                 ],
             }
         }

@@ -94,7 +94,13 @@ pub fn forward_unit_resources(unit: &ForwardUnit) -> Resources {
     let register = pe.register() + shell.register;
     let dsp = pe.dsp() + shell.dsp;
     let sram = forward_sram(unit.h());
-    Resources { clb: clb_estimate(lut, register, unit.design()), lut, register, dsp, sram }
+    Resources {
+        clb: clb_estimate(lut, register, unit.design()),
+        lut,
+        register,
+        dsp,
+        sram,
+    }
 }
 
 /// Composed resource estimate for a column unit (8 PEs in the paper).
@@ -104,7 +110,12 @@ pub fn column_unit_resources(unit: &ColumnUnit) -> Resources {
     let pes = unit.num_pes();
     let (shell_lut, shell_reg, shell_dsp, sram) = match unit.design() {
         // The log column unit's shell: per-PE LSE plumbing is heavy.
-        Design::LogSpace => (17_000 + 1_000 * pes, 15_000 + 1_200 * pes, 50 + 5 * pes, 236),
+        Design::LogSpace => (
+            17_000 + 1_000 * pes,
+            15_000 + 1_200 * pes,
+            50 + 5 * pes,
+            236,
+        ),
         // Posit shell includes the shared complement adder per PE.
         _ => (8_000 + 110 * pes, 8_000 + 700 * pes, 9, 258),
     };
@@ -116,7 +127,13 @@ pub fn column_unit_resources(unit: &ColumnUnit) -> Resources {
         Design::LogSpace => 0.62,
         _ => 0.43,
     };
-    Resources { clb: clb_estimate_with_eff(lut, register, eff), lut, register, dsp, sram }
+    Resources {
+        clb: clb_estimate_with_eff(lut, register, eff),
+        lut,
+        register,
+        dsp,
+        sram,
+    }
 }
 
 /// One row of Table III as reported in the paper.
@@ -139,7 +156,13 @@ pub fn paper_forward_rows() -> Vec<PaperRow> {
     let row = |design, param, clb, lut, register, dsp, sram, fmax| PaperRow {
         design,
         param,
-        resources: Resources { clb, lut, register, dsp, sram },
+        resources: Resources {
+            clb,
+            lut,
+            register,
+            dsp,
+            sram,
+        },
         fmax_mhz: fmax,
     };
     vec![
@@ -160,7 +183,13 @@ pub fn paper_column_rows() -> Vec<PaperRow> {
     let row = |design, param, clb, lut, register, dsp, sram, fmax| PaperRow {
         design,
         param,
-        resources: Resources { clb, lut, register, dsp, sram },
+        resources: Resources {
+            clb,
+            lut,
+            register,
+            dsp,
+            sram,
+        },
         fmax_mhz: fmax,
     };
     vec![
@@ -248,11 +277,20 @@ mod tests {
             let l = forward_unit_resources(&ForwardUnit::new(Design::LogSpace, h));
             let p = forward_unit_resources(&ForwardUnit::new(Design::Posit64Es18, h));
             let lut_red = 1.0 - p.lut as f64 / l.lut as f64;
-            assert!((0.50..0.72).contains(&lut_red), "H={h}: LUT reduction {lut_red}");
+            assert!(
+                (0.50..0.72).contains(&lut_red),
+                "H={h}: LUT reduction {lut_red}"
+            );
             let ff_red = 1.0 - p.register as f64 / l.register as f64;
-            assert!((0.30..0.60).contains(&ff_red), "H={h}: FF reduction {ff_red}");
+            assert!(
+                (0.30..0.60).contains(&ff_red),
+                "H={h}: FF reduction {ff_red}"
+            );
             let clb_red = 1.0 - p.clb as f64 / l.clb as f64;
-            assert!((0.40..0.70).contains(&clb_red), "H={h}: CLB reduction {clb_red}");
+            assert!(
+                (0.40..0.70).contains(&clb_red),
+                "H={h}: CLB reduction {clb_red}"
+            );
         }
     }
 

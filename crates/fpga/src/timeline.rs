@@ -37,7 +37,12 @@ pub fn simulate_forward(unit: &ForwardUnit, outer_iterations: u64) -> Vec<Event>
         let compute_done = issue_start + fill + lat;
         let prefetch_done = prefetch_start + DRAM_PREFETCH_CYCLES;
         let retire = compute_done.max(prefetch_done);
-        events.push(Event { outer, prefetch_start, issue_start, retire });
+        events.push(Event {
+            outer,
+            prefetch_start,
+            issue_start,
+            retire,
+        });
         clock = retire;
     }
     events

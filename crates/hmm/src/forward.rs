@@ -10,6 +10,11 @@
 //! * [`forward_trace`] — the Figure 1 experiment: the base-2 exponent of
 //!   the `alpha` vector over iterations, tracked exactly.
 
+// The kernels deliberately keep the paper's indexed-loop form (Listing 1
+// / Listing 3 pseudocode) rather than iterator chains, so the Rust reads
+// line-for-line against the listings it reproduces.
+#![allow(clippy::needless_range_loop)]
+
 use crate::model::{Hmm, PreparedHmm};
 use compstat_bigfloat::{BigFloat, Context};
 use compstat_core::StatFloat;
@@ -67,8 +72,7 @@ pub fn forward_log(model: &Hmm, obs: &[usize]) -> LogF64 {
         return LogF64::ONE;
     };
     assert!(o0 < model.num_symbols(), "observation symbol out of range");
-    let mut alpha_prev: Vec<LogF64> =
-        (0..h).map(|q| prepared.pi(q) * prepared.b(q, o0)).collect();
+    let mut alpha_prev: Vec<LogF64> = (0..h).map(|q| prepared.pi(q) * prepared.b(q, o0)).collect();
     let mut terms: Vec<LogF64> = vec![LogF64::ZERO; h];
     let mut alpha: Vec<LogF64> = vec![LogF64::ZERO; h];
     for &ot in rest {
@@ -91,8 +95,9 @@ pub fn forward_log(model: &Hmm, obs: &[usize]) -> LogF64 {
 #[must_use]
 pub fn forward_oracle(model: &Hmm, obs: &[usize], ctx: &Context) -> BigFloat {
     let h = model.num_states();
-    let a: Vec<BigFloat> =
-        (0..h * h).map(|i| BigFloat::from_f64(model.a(i / h, i % h))).collect();
+    let a: Vec<BigFloat> = (0..h * h)
+        .map(|i| BigFloat::from_f64(model.a(i / h, i % h)))
+        .collect();
     let b: Vec<BigFloat> = (0..h * model.num_symbols())
         .map(|i| BigFloat::from_f64(model.b(i / model.num_symbols(), i % model.num_symbols())))
         .collect();
@@ -100,8 +105,9 @@ pub fn forward_oracle(model: &Hmm, obs: &[usize], ctx: &Context) -> BigFloat {
         return BigFloat::one();
     };
     let m = model.num_symbols();
-    let mut alpha_prev: Vec<BigFloat> =
-        (0..h).map(|q| ctx.mul(&BigFloat::from_f64(model.pi(q)), &b[q * m + o0])).collect();
+    let mut alpha_prev: Vec<BigFloat> = (0..h)
+        .map(|q| ctx.mul(&BigFloat::from_f64(model.pi(q)), &b[q * m + o0]))
+        .collect();
     let mut alpha: Vec<BigFloat> = vec![BigFloat::zero(); h];
     for &ot in rest {
         for q in 0..h {
@@ -134,7 +140,10 @@ pub struct ScaledForward {
 pub fn forward_scaled(model: &Hmm, obs: &[usize]) -> ScaledForward {
     let h = model.num_states();
     let Some((&o0, rest)) = obs.split_first() else {
-        return ScaledForward { ln_likelihood: 0.0, rescales: 0 };
+        return ScaledForward {
+            ln_likelihood: 0.0,
+            rescales: 0,
+        };
     };
     let mut alpha_prev: Vec<f64> = (0..h).map(|q| model.pi(q) * model.b(q, o0)).collect();
     let mut alpha: Vec<f64> = vec![0.0; h];
@@ -162,7 +171,10 @@ pub fn forward_scaled(model: &Hmm, obs: &[usize]) -> ScaledForward {
         core::mem::swap(&mut alpha, &mut alpha_prev);
         rescale(&mut alpha_prev, &mut ln_l, &mut rescales);
     }
-    ScaledForward { ln_likelihood: ln_l, rescales }
+    ScaledForward {
+        ln_likelihood: ln_l,
+        rescales,
+    }
 }
 
 /// One point of the Figure 1 trace.
@@ -188,11 +200,15 @@ pub fn forward_trace(model: &Hmm, obs: &[usize], ctx: &Context, stride: usize) -
     let Some((&o0, rest)) = obs.split_first() else {
         return Vec::new();
     };
-    let a: Vec<BigFloat> =
-        (0..h * h).map(|i| BigFloat::from_f64(model.a(i / h, i % h))).collect();
-    let b: Vec<BigFloat> = (0..h * m).map(|i| BigFloat::from_f64(model.b(i / m, i % m))).collect();
-    let mut alpha_prev: Vec<BigFloat> =
-        (0..h).map(|q| ctx.mul(&BigFloat::from_f64(model.pi(q)), &b[q * m + o0])).collect();
+    let a: Vec<BigFloat> = (0..h * h)
+        .map(|i| BigFloat::from_f64(model.a(i / h, i % h)))
+        .collect();
+    let b: Vec<BigFloat> = (0..h * m)
+        .map(|i| BigFloat::from_f64(model.b(i / m, i % m)))
+        .collect();
+    let mut alpha_prev: Vec<BigFloat> = (0..h)
+        .map(|q| ctx.mul(&BigFloat::from_f64(model.pi(q)), &b[q * m + o0]))
+        .collect();
     let mut alpha: Vec<BigFloat> = vec![BigFloat::zero(); h];
     let mut out = Vec::new();
     let record = |t: usize, v: &[BigFloat], out: &mut Vec<TracePoint>| {
@@ -337,7 +353,10 @@ mod tests {
         }
         let total_drop = trace[0].exponent - trace[19].exponent;
         let per_step = total_drop as f64 / 1_900.0;
-        assert!(per_step > 0.3 && per_step < 3.0, "decay {per_step} bits/step");
+        assert!(
+            per_step > 0.3 && per_step < 3.0,
+            "decay {per_step} bits/step"
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub fn model_observations<R: Rng + ?Sized>(rng: &mut R, hmm: &Hmm, t: usize) -> 
     }
     let mut state = sample_categorical(rng, (0..hmm.num_states()).map(|i| hmm.pi(i)));
     for _ in 0..t {
-        obs.push(sample_categorical(rng, (0..hmm.num_symbols()).map(|o| hmm.b(state, o))));
+        obs.push(sample_categorical(
+            rng,
+            (0..hmm.num_symbols()).map(|o| hmm.b(state, o)),
+        ));
         state = sample_categorical(rng, (0..hmm.num_states()).map(|j| hmm.a(state, j)));
     }
     obs
@@ -82,7 +85,9 @@ pub fn hcg_like<R: Rng + ?Sized>(rng: &mut R, h: usize) -> Hmm {
     // Near-uniform emissions with +-10% jitter, renormalized.
     let mut b = Vec::with_capacity(h * m);
     for _ in 0..h {
-        let mut row: Vec<f64> = (0..m).map(|_| 1.0 + 0.1 * (rng.gen::<f64>() - 0.5)).collect();
+        let mut row: Vec<f64> = (0..m)
+            .map(|_| 1.0 + 0.1 * (rng.gen::<f64>() - 0.5))
+            .collect();
         let s: f64 = row.iter().sum();
         for x in &mut row {
             *x /= s;

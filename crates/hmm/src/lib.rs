@@ -47,8 +47,7 @@ mod model;
 mod viterbi;
 
 pub use forward::{
-    forward, forward_log, forward_oracle, forward_scaled, forward_trace, ScaledForward,
-    TracePoint,
+    forward, forward_log, forward_oracle, forward_scaled, forward_trace, ScaledForward, TracePoint,
 };
 pub use gen::{dirichlet_hmm, hcg_like, model_observations, uniform_observations};
 pub use model::{Hmm, PreparedHmm};

@@ -37,7 +37,10 @@ impl Hmm {
         assert_eq!(b.len(), h * m, "B must be H x M");
         assert_eq!(pi.len(), h, "pi must have H entries");
         let check_row = |row: &[f64], what: &str| {
-            assert!(row.iter().all(|&p| p >= 0.0 && p.is_finite()), "{what}: bad probability");
+            assert!(
+                row.iter().all(|&p| p >= 0.0 && p.is_finite()),
+                "{what}: bad probability"
+            );
             let s: f64 = row.iter().sum();
             assert!((s - 1.0).abs() < 1e-6, "{what}: row sums to {s}");
         };
@@ -164,13 +167,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "row sums")]
     fn rejects_non_stochastic_rows() {
-        Hmm::new(1, 2, vec![1.0], vec![0.5, 0.4], vec![1.0]);
+        let _ = Hmm::new(1, 2, vec![1.0], vec![0.5, 0.4], vec![1.0]);
     }
 
     #[test]
     #[should_panic(expected = "A must be H x H")]
     fn rejects_bad_shapes() {
-        Hmm::new(2, 2, vec![1.0; 3], vec![0.5; 4], vec![0.5, 0.5]);
+        let _ = Hmm::new(2, 2, vec![1.0; 3], vec![0.5; 4], vec![0.5, 0.5]);
     }
 
     #[test]

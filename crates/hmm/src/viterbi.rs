@@ -2,6 +2,10 @@
 //! kernels (extensions beyond the paper's forward-only evaluation, with
 //! the same iterated-product numerical structure).
 
+// Indexed loops match the textbook dynamic-programming recurrences (and
+// the sibling forward.rs kernels); see the note there.
+#![allow(clippy::needless_range_loop)]
+
 use crate::model::{Hmm, PreparedHmm};
 use compstat_core::StatFloat;
 use compstat_logspace::LogF64;
@@ -22,11 +26,16 @@ pub struct ViterbiPath {
 pub fn viterbi(model: &Hmm, obs: &[usize]) -> ViterbiPath {
     let h = model.num_states();
     if obs.is_empty() {
-        return ViterbiPath { states: Vec::new(), ln_probability: 0.0 };
+        return ViterbiPath {
+            states: Vec::new(),
+            ln_probability: 0.0,
+        };
     }
     let ln = |p: f64| if p > 0.0 { p.ln() } else { f64::NEG_INFINITY };
     let t_len = obs.len();
-    let mut delta: Vec<f64> = (0..h).map(|q| ln(model.pi(q)) + ln(model.b(q, obs[0]))).collect();
+    let mut delta: Vec<f64> = (0..h)
+        .map(|q| ln(model.pi(q)) + ln(model.b(q, obs[0])))
+        .collect();
     let mut back: Vec<usize> = Vec::with_capacity(h * (t_len - 1));
     let mut next = vec![f64::NEG_INFINITY; h];
     for &ot in &obs[1..] {
@@ -49,7 +58,6 @@ pub fn viterbi(model: &Hmm, obs: &[usize]) -> ViterbiPath {
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
-        .map(|(i, v)| (i, v))
         .expect("h > 0");
     let mut states = vec![0usize; t_len];
     states[t_len - 1] = state;
@@ -57,7 +65,10 @@ pub fn viterbi(model: &Hmm, obs: &[usize]) -> ViterbiPath {
         state = back[(t - 1) * h + state];
         states[t - 1] = state;
     }
-    ViterbiPath { states, ln_probability: best }
+    ViterbiPath {
+        states,
+        ln_probability: best,
+    }
 }
 
 /// The backward algorithm, generic over number format: returns the beta
@@ -101,7 +112,13 @@ mod tests {
     use compstat_posit::P64E12;
 
     fn toy() -> Hmm {
-        Hmm::new(2, 2, vec![0.7, 0.3, 0.3, 0.7], vec![0.9, 0.1, 0.2, 0.8], vec![0.5, 0.5])
+        Hmm::new(
+            2,
+            2,
+            vec![0.7, 0.3, 0.3, 0.7],
+            vec![0.9, 0.1, 0.2, 0.8],
+            vec![0.5, 0.5],
+        )
     }
 
     #[test]

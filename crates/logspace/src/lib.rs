@@ -57,7 +57,9 @@ pub struct LogF64 {
 
 impl LogF64 {
     /// Exact zero (`ln = -inf`).
-    pub const ZERO: LogF64 = LogF64 { ln: f64::NEG_INFINITY };
+    pub const ZERO: LogF64 = LogF64 {
+        ln: f64::NEG_INFINITY,
+    };
 
     /// One (`ln = 0`).
     pub const ONE: LogF64 = LogF64 { ln: 0.0 };
@@ -141,7 +143,9 @@ impl LogF64 {
                 if x.sign() == Sign::Neg {
                     LogF64 { ln: f64::NAN }
                 } else {
-                    LogF64 { ln: ctx.ln(x).to_f64() }
+                    LogF64 {
+                        ln: ctx.ln(x).to_f64(),
+                    }
                 }
             }
         }
@@ -153,13 +157,19 @@ impl LogF64 {
     /// computes (Figure 4a).
     #[must_use]
     pub fn add_hw_dataflow(self, other: LogF64) -> LogF64 {
-        let (m, d) = if self.ln >= other.ln { (self.ln, other.ln) } else { (other.ln, self.ln) };
+        let (m, d) = if self.ln >= other.ln {
+            (self.ln, other.ln)
+        } else {
+            (other.ln, self.ln)
+        };
         if m == f64::NEG_INFINITY {
             return LogF64::ZERO; // 0 + 0
         }
         // exp(lx - m) == exp(0) == 1 exactly, in hardware too.
         let t = (d - m).exp();
-        LogF64 { ln: m + (1.0 + t).ln() }
+        LogF64 {
+            ln: m + (1.0 + t).ln(),
+        }
     }
 
     /// Log-space subtraction `self - other`, defined only when
@@ -176,7 +186,9 @@ impl LogF64 {
             core::cmp::Ordering::Greater => {
                 // ln(e^a - e^b) = a + ln(1 - e^(b-a)), b < a.
                 let d = other.ln - self.ln; // < 0
-                Some(LogF64 { ln: self.ln + (-d.exp()).ln_1p() })
+                Some(LogF64 {
+                    ln: self.ln + (-d.exp()).ln_1p(),
+                })
             }
         }
     }
@@ -188,14 +200,20 @@ impl core::ops::Add for LogF64 {
     /// Software LSE: `m + log1p(exp(d))`, the numerically recommended
     /// form (Stan, HMM tutorials).
     fn add(self, other: LogF64) -> LogF64 {
-        let (m, d) = if self.ln >= other.ln { (self.ln, other.ln) } else { (other.ln, self.ln) };
+        let (m, d) = if self.ln >= other.ln {
+            (self.ln, other.ln)
+        } else {
+            (other.ln, self.ln)
+        };
         if m == f64::NEG_INFINITY {
             return LogF64::ZERO;
         }
         if d == f64::NEG_INFINITY {
             return LogF64 { ln: m };
         }
-        LogF64 { ln: m + (d - m).exp().ln_1p() }
+        LogF64 {
+            ln: m + (d - m).exp().ln_1p(),
+        }
     }
 }
 
@@ -209,7 +227,9 @@ impl core::ops::Mul for LogF64 {
             // Avoid -inf + inf = NaN when the other side overflowed.
             return LogF64::ZERO;
         }
-        LogF64 { ln: self.ln + other.ln }
+        LogF64 {
+            ln: self.ln + other.ln,
+        }
     }
 }
 
@@ -218,6 +238,8 @@ impl core::ops::Div for LogF64 {
 
     /// Division (log subtraction). Division by zero yields an invalid
     /// (NaN) entry.
+    // In the log domain, division really is subtraction of logarithms.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, other: LogF64) -> LogF64 {
         if other.is_zero() {
             return LogF64 { ln: f64::NAN };
@@ -225,7 +247,9 @@ impl core::ops::Div for LogF64 {
         if self.is_zero() {
             return LogF64::ZERO;
         }
-        LogF64 { ln: self.ln - other.ln }
+        LogF64 {
+            ln: self.ln - other.ln,
+        }
     }
 }
 
@@ -337,8 +361,10 @@ mod tests {
 
     #[test]
     fn n_ary_lse_matches_pairwise() {
-        let terms: Vec<LogF64> =
-            [-5.0, -3.0, -4.0, -10.0].iter().map(|&l| LogF64::from_ln(l)).collect();
+        let terms: Vec<LogF64> = [-5.0, -3.0, -4.0, -10.0]
+            .iter()
+            .map(|&l| LogF64::from_ln(l))
+            .collect();
         let nary = log_sum_exp(&terms);
         let pair = ((terms[0] + terms[1]) + terms[2]) + terms[3];
         assert!((nary.ln_value() - pair.ln_value()).abs() < 1e-12);

@@ -16,10 +16,16 @@ pub struct SignedLogF64 {
 
 impl SignedLogF64 {
     /// Zero.
-    pub const ZERO: SignedLogF64 = SignedLogF64 { negative: false, mag: LogF64::ZERO };
+    pub const ZERO: SignedLogF64 = SignedLogF64 {
+        negative: false,
+        mag: LogF64::ZERO,
+    };
 
     /// One.
-    pub const ONE: SignedLogF64 = SignedLogF64 { negative: false, mag: LogF64::ONE };
+    pub const ONE: SignedLogF64 = SignedLogF64 {
+        negative: false,
+        mag: LogF64::ONE,
+    };
 
     /// Builds from a sign and a log-magnitude.
     #[must_use]
@@ -105,7 +111,11 @@ impl core::ops::Add for SignedLogF64 {
             return SignedLogF64::new(self.negative, self.mag + rhs.mag);
         }
         // Opposite signs: subtract the smaller magnitude from the larger.
-        let (big, small) = if self.mag >= rhs.mag { (self, rhs) } else { (rhs, self) };
+        let (big, small) = if self.mag >= rhs.mag {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
         match big.mag.checked_sub(small.mag) {
             Some(d) => SignedLogF64::new(big.negative, d),
             None => SignedLogF64::ZERO, // equal magnitudes (unreachable otherwise)
@@ -142,7 +152,12 @@ impl Default for SignedLogF64 {
 
 impl fmt::Debug for SignedLogF64 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SignedLogF64({}ln={})", if self.negative { "-" } else { "+" }, self.mag.ln_value())
+        write!(
+            f,
+            "SignedLogF64({}ln={})",
+            if self.negative { "-" } else { "+" },
+            self.mag.ln_value()
+        )
     }
 }
 

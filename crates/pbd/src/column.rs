@@ -89,7 +89,12 @@ pub fn call_column_with_oracle<T: StatFloat>(
     let called_variant = pv_exact < threshold;
     let oracle_variant = *oracle < threshold;
     let error = error::relative_error(oracle, &pv_exact, ctx);
-    CallOutcome { pvalue: pv_exact, called_variant, oracle_variant, error }
+    CallOutcome {
+        pvalue: pv_exact,
+        called_variant,
+        oracle_variant,
+        error,
+    }
 }
 
 #[cfg(test)]
@@ -113,7 +118,7 @@ mod tests {
         let ctx = Context::new(256);
         // ~45 tiny probabilities with k=30: p-value ~ 2^-900 (< 2^-200,
         // still within binary64 range).
-        let probs: Vec<f64> = (0..45).map(|i| 2f64.powi(-30 - (i % 5) as i32)).collect();
+        let probs: Vec<f64> = (0..45).map(|i| 2f64.powi(-30 - (i % 5))).collect();
         let col = Column::new(probs, 30);
         let oe = col.pvalue_oracle(&ctx).exponent().unwrap();
         assert!(oe < -600 && oe > -1_022, "exponent {oe}");
@@ -137,9 +142,17 @@ mod tests {
     }
 
     fn for_called_all_formats(col: &Column, ctx: &Context, want: bool) {
-        assert_eq!(call_column::<f64>(col, ctx).called_variant, want, "binary64");
+        assert_eq!(
+            call_column::<f64>(col, ctx).called_variant,
+            want,
+            "binary64"
+        );
         assert_eq!(call_column::<LogF64>(col, ctx).called_variant, want, "log");
-        assert_eq!(call_column::<P64E12>(col, ctx).called_variant, want, "posit");
+        assert_eq!(
+            call_column::<P64E12>(col, ctx).called_variant,
+            want,
+            "posit"
+        );
     }
 
     #[test]

@@ -74,7 +74,9 @@ impl DatasetSpec {
 #[must_use]
 pub fn perf_datasets() -> Vec<DatasetSpec> {
     // Target posit-unit seconds per dataset, shaped like Figure 7(a).
-    let targets: [f64; 8] = [2_269.0, 3_190.0, 6_103.0, 3_217.0, 6_322.0, 7_454.0, 8_355.0, 24_010.0];
+    let targets: [f64; 8] = [
+        2_269.0, 3_190.0, 6_103.0, 3_217.0, 6_322.0, 7_454.0, 8_355.0, 24_010.0,
+    ];
     // Mean K per dataset: the per-column posit improvement is
     // 43/(K+73), so K in [100, 800] spans Figure 7(b)'s 5-25% range.
     let mean_k: [f64; 8] = [100.0, 140.0, 300.0, 180.0, 350.0, 450.0, 600.0, 800.0];
@@ -104,7 +106,10 @@ fn synth_dataset(index: usize, target_posit_seconds: f64, mean_k: f64) -> Datase
         used += n as f64 * (k as f64 + POSIT_PE_LATENCY);
         columns.push(ColumnDims { n, k });
     }
-    DatasetSpec { name: format!("D{index}"), columns }
+    DatasetSpec {
+        name: format!("D{index}"),
+        columns,
+    }
 }
 
 fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
@@ -199,7 +204,12 @@ mod tests {
                 "{}: mean N {mean_n}",
                 d.name
             );
-            assert!(d.num_columns() > 1_000, "{}: {} columns", d.name, d.num_columns());
+            assert!(
+                d.num_columns() > 1_000,
+                "{}: {} columns",
+                d.name,
+                d.num_columns()
+            );
         }
         // Total ops about 10^12..10^14 per dataset ("about 10^13").
         for d in &ds {

@@ -26,7 +26,10 @@ pub struct PbdResult<T> {
 #[must_use]
 pub fn pbd_pvalue<T: StatFloat>(success_probs: &[f64], k: usize) -> PbdResult<T> {
     if k == 0 {
-        return PbdResult { pmf: Vec::new(), pvalue: T::one() };
+        return PbdResult {
+            pmf: Vec::new(),
+            pvalue: T::one(),
+        };
     }
     let mut pr: Vec<T> = vec![T::zero(); k];
     pr[0] = T::one(); // zero successes after zero trials
@@ -200,7 +203,7 @@ mod tests {
     fn deep_pvalue_magnitudes_survive_in_posit_and_log() {
         // A scaled-down "critical column": 60 trials with tiny success
         // probabilities, k=40 -> p-value far below 2^-1074.
-        let probs: Vec<f64> = (0..60).map(|i| 2f64.powi(-40 - (i % 17) as i32)).collect();
+        let probs: Vec<f64> = (0..60).map(|i| 2f64.powi(-40 - (i % 17))).collect();
         let ctx = Context::new(256);
         let oracle = pbd_pvalue_oracle(&probs, 40, &ctx);
         let oe = oracle.exponent().unwrap();

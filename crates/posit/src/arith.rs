@@ -37,7 +37,11 @@ pub fn sub_bits(a: u64, b: u64, n: u32, es: u32) -> u64 {
 
 fn add_unpacked(x: Unpacked, y: Unpacked, n: u32, es: u32) -> u64 {
     // Order by magnitude: |big| >= |small|.
-    let (big, small) = if (x.scale, x.frac) >= (y.scale, y.frac) { (x, y) } else { (y, x) };
+    let (big, small) = if (x.scale, x.frac) >= (y.scale, y.frac) {
+        (x, y)
+    } else {
+        (y, x)
+    };
     let d = (big.scale - small.scale) as u64; // >= 0
 
     // Fixed point with the hidden bit of `big` at bit 126 (one headroom
@@ -128,12 +132,23 @@ pub fn div_bits(a: u64, b: u64, n: u32, es: u32) -> u64 {
         (Decoded::Finite(x), Decoded::Finite(y)) => {
             let negative = x.negative != y.negative;
             // Compute fa/fb in (1/2, 2) with 64 quotient bits + remainder.
-            let (num_shift, scale_adj) = if x.frac >= y.frac { (63u32, 0i64) } else { (64, -1) };
+            let (num_shift, scale_adj) = if x.frac >= y.frac {
+                (63u32, 0i64)
+            } else {
+                (64, -1)
+            };
             let num = (x.frac as u128) << num_shift;
             let q = num / y.frac as u128;
             let rem = num % y.frac as u128;
             debug_assert!(q >> 63 == 1, "quotient normalized to Q1.63");
-            pack(negative, x.scale - y.scale + scale_adj, q as u64, rem != 0, n, es)
+            pack(
+                negative,
+                x.scale - y.scale + scale_adj,
+                q as u64,
+                rem != 0,
+                n,
+                es,
+            )
         }
     }
 }
@@ -165,8 +180,16 @@ mod tests {
     fn bracket(got: u64) -> (f64, f64) {
         let lo_bits = got.wrapping_sub(1) & 0xFF;
         let hi_bits = (got + 1) & 0xFF;
-        let lo = if lo_bits == 0x80 { f64::NEG_INFINITY } else { p8_to_f64(lo_bits) };
-        let hi = if hi_bits == 0x80 { f64::INFINITY } else { p8_to_f64(hi_bits) };
+        let lo = if lo_bits == 0x80 {
+            f64::NEG_INFINITY
+        } else {
+            p8_to_f64(lo_bits)
+        };
+        let hi = if hi_bits == 0x80 {
+            f64::INFINITY
+        } else {
+            p8_to_f64(hi_bits)
+        };
         (lo, hi)
     }
 
@@ -189,8 +212,10 @@ mod tests {
         // one of the two patterns bracketing the real sum, and must equal
         // the nearer one when the sum is strictly inside the bracket and
         // within range (pattern-RNE agrees with value order).
-        let vals: Vec<(u64, f64)> =
-            (0..256).filter(|&b| b != 0x80).map(|b| (b as u64, p8_to_f64(b as u64))).collect();
+        let vals: Vec<(u64, f64)> = (0..256)
+            .filter(|&b| b != 0x80)
+            .map(|b| (b as u64, p8_to_f64(b as u64)))
+            .collect();
         for &(ab, av) in &vals {
             for &(bb, bv) in &vals {
                 let got = add_bits(ab, bb, 8, 2);
@@ -244,8 +269,10 @@ mod tests {
 
     #[test]
     fn exhaustive_mul_posit8_is_faithful() {
-        let vals: Vec<(u64, f64)> =
-            (0..256).filter(|&b| b != 0x80).map(|b| (b as u64, p8_to_f64(b as u64))).collect();
+        let vals: Vec<(u64, f64)> = (0..256)
+            .filter(|&b| b != 0x80)
+            .map(|b| (b as u64, p8_to_f64(b as u64)))
+            .collect();
         for &(ab, av) in &vals {
             for &(bb, bv) in &vals {
                 let got = mul_bits(ab, bb, 8, 2);

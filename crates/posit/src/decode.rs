@@ -44,25 +44,45 @@ pub fn decode(bits: u64, n: u32, es: u32) -> Decoded {
     }
     let negative = bits & sign_mask != 0;
     // Two's-complement negation within n bits yields the magnitude pattern.
-    let mag = if negative { bits.wrapping_neg() & mask(n) } else { bits };
+    let mag = if negative {
+        bits.wrapping_neg() & mask(n)
+    } else {
+        bits
+    };
     // Left-align the n-1 body bits at bit 63; vacated low bits read as the
     // zero padding the posit standard prescribes for truncated fields.
     let body = mag << (64 - (n - 1));
     let r = body >> 63;
-    let run = if r == 1 { body.leading_ones() } else { body.leading_zeros() };
+    let run = if r == 1 {
+        body.leading_ones()
+    } else {
+        body.leading_zeros()
+    };
     // A run of ones can extend into the zero padding only for maxpos,
     // where leading_ones stops at the padding; cap to the body width.
     let run = run.min(n - 1);
-    let k: i64 = if r == 1 { run as i64 - 1 } else { -(run as i64) };
+    let k: i64 = if r == 1 {
+        run as i64 - 1
+    } else {
+        -(run as i64)
+    };
     // Regime field: run + terminating bit, capped at the body width.
     let regime_len = (run + 1).min(n - 1);
-    let rem = if regime_len >= 64 { 0 } else { body << regime_len };
+    let rem = if regime_len >= 64 {
+        0
+    } else {
+        body << regime_len
+    };
     let e = if es == 0 { 0 } else { rem >> (64 - es) };
     let frac_field = if es >= 64 { 0 } else { rem << es };
     // Q1.63: hidden bit at 63, fraction below.
     let frac = (1u64 << 63) | (frac_field >> 1);
     let scale = k * (1i64 << es) + e as i64;
-    Decoded::Finite(Unpacked { negative, scale, frac })
+    Decoded::Finite(Unpacked {
+        negative,
+        scale,
+        frac,
+    })
 }
 
 /// Mask of the low `n` bits (`n` in 1..=64).
@@ -80,6 +100,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::unusual_byte_groupings)] // groups are posit fields: sign_regime_exp_frac
     fn paper_worked_example_posit_8_2() {
         // Section III: 0_0001_10_1 -> 1.5 * 2^-10.
         let bits = 0b0_0001_10_1u64;
@@ -121,7 +142,14 @@ mod tests {
     fn minpos_scale_matches_table_one() {
         // minpos pattern: 0...01. Table I: smallest positive of
         // posit(64,es) is 2^(-62 * 2^es).
-        for (es, want) in [(6i64, -3_968i64), (9, -31_744), (12, -253_952), (15, -2_031_616), (18, -16_252_928), (21, -130_023_424)] {
+        for (es, want) in [
+            (6i64, -3_968i64),
+            (9, -31_744),
+            (12, -253_952),
+            (15, -2_031_616),
+            (18, -16_252_928),
+            (21, -130_023_424),
+        ] {
             match decode(1, 64, es as u32) {
                 Decoded::Finite(u) => {
                     assert_eq!(u.scale, want, "posit(64,{es}) minpos");
@@ -160,6 +188,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::unusual_byte_groupings)] // groups are posit fields: sign_regime_exp
     fn truncated_exponent_reads_as_high_bits() {
         // posit(8,2) pattern 0_000001_1: regime 000001 (k=-5, 7 bits with
         // terminator... run=5, regime_len=6), remaining 1 bit = exponent

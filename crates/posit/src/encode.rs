@@ -39,9 +39,13 @@ pub fn pack(negative: bool, scale: i64, frac: u64, sticky: bool, n: u32, es: u32
     let mut sticky = sticky;
     {
         // Regime: k >= 0 -> (k+1) ones then 0; k < 0 -> (-k) zeros then 1.
-        let (run, bit) = if k >= 0 { (k as u32 + 1, 1u128) } else { ((-k) as u32, 0u128) };
+        let (run, bit) = if k >= 0 {
+            (k as u32 + 1, 1u128)
+        } else {
+            ((-k) as u32, 0u128)
+        };
         let regime_len = run + 1;
-        debug_assert!(regime_len <= n - 1);
+        debug_assert!(regime_len < n);
         if bit == 1 {
             let ones = (1u128 << run) - 1;
             acc |= ones << (128 - run); // run ones
@@ -115,9 +119,11 @@ mod tests {
 
     fn roundtrip(bits: u64, n: u32, es: u32) -> u64 {
         match decode(bits, n, es) {
-            Decoded::Finite(Unpacked { negative, scale, frac }) => {
-                pack(negative, scale, frac, false, n, es)
-            }
+            Decoded::Finite(Unpacked {
+                negative,
+                scale,
+                frac,
+            }) => pack(negative, scale, frac, false, n, es),
             _ => panic!("not finite"),
         }
     }
@@ -137,7 +143,9 @@ mod tests {
         // Every exact decode must re-encode to the same pattern.
         let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
         for _ in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let bits = x;
             if bits == 0 || bits == 1u64 << 63 {
                 continue;
@@ -147,6 +155,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::unusual_byte_groupings)] // groups are posit fields: sign_regime_exp_frac
     fn paper_example_packs_back() {
         // 1.5 * 2^-10 in posit(8,2) is 0_0001_10_1.
         let frac = (1u64 << 63) | (1u64 << 62);

@@ -18,7 +18,10 @@ impl FormatInfo {
     /// Panics if the configuration is outside `3 <= n <= 64`, `es <= 30`.
     #[must_use]
     pub fn new(n: u32, es: u32) -> FormatInfo {
-        assert!((3..=64).contains(&n) && es <= 30, "posit config out of range");
+        assert!(
+            (3..=64).contains(&n) && es <= 30,
+            "posit config out of range"
+        );
         FormatInfo { n, es }
     }
 
@@ -72,7 +75,9 @@ impl FormatInfo {
         let k = scale.div_euclid(1 << self.es);
         let run = if k >= 0 { k + 1 } else { -k };
         let regime_len = (run + 1).min(self.n as i64 - 1) as u32;
-        (self.n - 1).saturating_sub(regime_len).saturating_sub(self.es)
+        (self.n - 1)
+            .saturating_sub(regime_len)
+            .saturating_sub(self.es)
     }
 }
 

@@ -77,21 +77,36 @@ impl<const N: u32, const ES: u32> Posit<N, ES> {
     const VALID: () = assert!(N >= 3 && N <= 64 && ES <= 30, "posit config out of range");
 
     /// The zero pattern (all zeros). Posit has a single zero.
-    pub const ZERO: Self = Self { bits: 0, _marker: PhantomData };
+    pub const ZERO: Self = Self {
+        bits: 0,
+        _marker: PhantomData,
+    };
 
     /// Not-a-Real: `1` followed by zeros. Replaces IEEE's infinities and
     /// NaNs.
-    pub const NAR: Self = Self { bits: 1 << (N - 1), _marker: PhantomData };
+    pub const NAR: Self = Self {
+        bits: 1 << (N - 1),
+        _marker: PhantomData,
+    };
 
     /// One (`01` followed by zeros).
-    pub const ONE: Self = Self { bits: 1 << (N - 2), _marker: PhantomData };
+    pub const ONE: Self = Self {
+        bits: 1 << (N - 2),
+        _marker: PhantomData,
+    };
 
     /// The smallest positive posit: `useed^-(N-2)` (Table I's "smallest
     /// representable positive number").
-    pub const MIN_POSITIVE: Self = Self { bits: 1, _marker: PhantomData };
+    pub const MIN_POSITIVE: Self = Self {
+        bits: 1,
+        _marker: PhantomData,
+    };
 
     /// The largest finite posit: `useed^(N-2)`.
-    pub const MAX: Self = Self { bits: (1 << (N - 1)) - 1, _marker: PhantomData };
+    pub const MAX: Self = Self {
+        bits: (1 << (N - 1)) - 1,
+        _marker: PhantomData,
+    };
 
     /// Constructs from a raw pattern (low `N` bits).
     ///
@@ -103,7 +118,10 @@ impl<const N: u32, const ES: u32> Posit<N, ES> {
         #[allow(clippy::let_unit_value)]
         let _ = Self::VALID;
         assert!(N == 64 || bits >> N == 0, "bits beyond pattern width");
-        Self { bits, _marker: PhantomData }
+        Self {
+            bits,
+            _marker: PhantomData,
+        }
     }
 
     /// The raw pattern in the low `N` bits.
@@ -377,6 +395,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::unusual_byte_groupings)] // groups are posit fields: sign_regime_exp_frac
     fn paper_example_value() {
         let p = P8E2::from_bits(0b0_0001_10_1);
         assert_eq!(p.to_f64(), 1.5 * 2f64.powi(-10));
@@ -384,7 +403,16 @@ mod tests {
 
     #[test]
     fn f64_round_trips_for_exact_values() {
-        for x in [0.0, 1.0, -1.0, 0.5, 1.5, -3.25, 1024.0, 2f64.powi(-30) * 1.75] {
+        for x in [
+            0.0,
+            1.0,
+            -1.0,
+            0.5,
+            1.5,
+            -3.25,
+            1024.0,
+            2f64.powi(-30) * 1.75,
+        ] {
             assert_eq!(P64E12::from_f64(x).to_f64(), x, "{x}");
             assert_eq!(P32E2::from_f64(x).to_f64(), x, "{x}");
         }
@@ -413,7 +441,9 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_matches_values() {
-        let vals = [-4.0, -1.0, -0.5, -0.015625, 0.0, 0.015625, 0.5, 1.0, 1.5, 4.0, 64.0];
+        let vals = [
+            -4.0, -1.0, -0.5, -0.015625, 0.0, 0.015625, 0.5, 1.0, 1.5, 4.0, 64.0,
+        ];
         let posits: Vec<P16E2> = vals.iter().map(|&v| P16E2::from_f64(v)).collect();
         for i in 0..posits.len() {
             for j in 0..posits.len() {

@@ -2,14 +2,16 @@
 //! BigFloat oracle.
 
 use compstat_bigfloat::{BigFloat, Context};
-use compstat_posit::{Decoded, P16E2, P32E2, P64E12, P64E18, P64E9, P8E2, Posit};
+use compstat_posit::{Decoded, Posit, P16E2, P32E2, P64E12, P64E18, P64E9, P8E2};
 use proptest::prelude::*;
 
 /// A strategy over valid (non-NaR) posit bit patterns.
 fn posit_bits(n: u32) -> impl Strategy<Value = u64> {
     let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
     let nar = 1u64 << (n - 1);
-    proptest::num::u64::ANY.prop_map(move |b| b & mask).prop_filter("NaR", move |&b| b != nar)
+    proptest::num::u64::ANY
+        .prop_map(move |b| b & mask)
+        .prop_filter("NaR", move |&b| b != nar)
 }
 
 /// Checks that `got` is within one pattern step of the correctly rounded
@@ -165,7 +167,7 @@ proptest! {
         prop_assume!(total > P64E18::format_info().min_positive_exp());
         let mut acc = P64E18::ONE;
         for &s in &scales {
-            acc = acc * P64E18::from_parts(false, s, 1 << 63);
+            acc *= P64E18::from_parts(false, s, 1 << 63);
         }
         prop_assert!(!acc.is_zero());
         prop_assert_eq!(acc.scale(), Some(total));

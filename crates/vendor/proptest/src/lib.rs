@@ -1,0 +1,472 @@
+//! Offline stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) property-testing
+//! crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the proptest API surface the workspace's property tests
+//! use: the [`proptest!`] macro (with `proptest_config` and `a in
+//! strategy` bindings), [`Strategy`] with `prop_map`/`prop_filter`,
+//! range strategies, `num::{u64, f64}` / `bool::ANY` inputs,
+//! `collection::vec`, and the `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!` macros.
+//!
+//! Differences from upstream, on purpose:
+//!
+//! * cases are generated from a **fixed seed derived from the test
+//!   name** — runs are fully deterministic with no persistence file;
+//! * there is **no shrinking**: a failing case reports the assertion
+//!   message only. Property tests here are cross-validation against an
+//!   oracle, where the failing operands are already printed by the
+//!   assertion text.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The per-case outcome a [`proptest!`] body produces.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's inputs were rejected (`prop_assume!` failed or a
+    /// filter strategy ran dry); it does not count toward the total.
+    Reject(String),
+    /// A `prop_assert!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration, selected with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+    /// Maximum rejected cases before the runner gives up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// A source of generated values. Mirrors `proptest::strategy::Strategy`,
+/// minus shrinking: sampling draws a value directly.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value; `None` means the draw was filtered out.
+    fn sample(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects generated values failing `pred`.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            pred,
+            _reason: reason.into(),
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<O> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    _reason: String,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+        // A bounded local retry keeps one unlucky filter from
+        // consuming the whole global reject budget.
+        for _ in 0..16 {
+            if let Some(v) = self.inner.sample(rng) {
+                if (self.pred)(&v) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for core::ops::Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<T> {
+        Some(rng.gen_range(self.clone()))
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<T> {
+        Some(rng.gen_range(self.clone()))
+    }
+}
+
+/// Numeric input strategies. Mirrors `proptest::num`.
+pub mod num {
+    /// Strategies over `u64`. Mirrors `proptest::num::u64`.
+    pub mod u64 {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Every `u64` bit pattern, uniformly.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// Uniform over all of `u64`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = u64;
+
+            fn sample(&self, rng: &mut StdRng) -> Option<u64> {
+                Some(rng.gen())
+            }
+        }
+    }
+
+    /// Strategies over `f64` value classes. Mirrors
+    /// `proptest::num::f64`'s bitflag constants.
+    pub mod f64 {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// A union of `f64` value classes; combine with `|`.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+        pub struct FloatTypes(u32);
+
+        /// Normal (non-zero, non-subnormal, finite) values.
+        pub const NORMAL: FloatTypes = FloatTypes(1);
+        /// Subnormal values.
+        pub const SUBNORMAL: FloatTypes = FloatTypes(2);
+        /// Positive and negative zero.
+        pub const ZERO: FloatTypes = FloatTypes(4);
+
+        impl core::ops::BitOr for FloatTypes {
+            type Output = FloatTypes;
+
+            fn bitor(self, rhs: FloatTypes) -> FloatTypes {
+                FloatTypes(self.0 | rhs.0)
+            }
+        }
+
+        impl Strategy for FloatTypes {
+            type Value = f64;
+
+            fn sample(&self, rng: &mut StdRng) -> Option<f64> {
+                let classes: Vec<u32> = [1u32, 2, 4]
+                    .iter()
+                    .copied()
+                    .filter(|c| self.0 & c != 0)
+                    .collect();
+                let class = classes[rng.gen_range(0..classes.len())];
+                let sign = if rng.gen::<bool>() { 1u64 << 63 } else { 0 };
+                let bits = match class {
+                    // Biased exponent 1..=2046, any mantissa.
+                    1 => {
+                        let exp = rng.gen_range(1u64..=2046) << 52;
+                        let frac = rng.gen::<u64>() & ((1u64 << 52) - 1);
+                        sign | exp | frac
+                    }
+                    // Biased exponent 0, non-zero mantissa.
+                    2 => sign | rng.gen_range(1u64..(1u64 << 52)),
+                    // ±0.0.
+                    _ => sign,
+                };
+                Some(f64::from_bits(bits))
+            }
+        }
+    }
+}
+
+/// Boolean input strategies. Mirrors `proptest::bool`.
+pub mod bool {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// `true` or `false`, equiprobably.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniform over `bool`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<bool> {
+            Some(rng.gen())
+        }
+    }
+}
+
+/// Collection strategies. Mirrors `proptest::collection`.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A `Vec` whose length is drawn from `len` and whose elements are
+    /// drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Builds a [`VecStrategy`]. Mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs. Mirrors `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Drives one property test: seeds an RNG from the test name, draws
+/// inputs, and panics on the first failing case. Called by the
+/// [`proptest!`] macro, not directly.
+pub fn run_cases(
+    config: ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    // FNV-1a over the test name: deterministic per test, stable across
+    // runs and platforms.
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "{name}: too many rejected cases ({rejected}) after {accepted} accepted"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {accepted} failed: {msg}");
+            }
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(a in strategy, ...)` body runs
+/// for the configured number of generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr)
+        $(
+            #[test]
+            fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(config, stringify!($name), |prop_rng| {
+                    $(
+                        let $arg = match $crate::Strategy::sample(&($strat), prop_rng) {
+                            ::core::option::Option::Some(v) => v,
+                            ::core::option::Option::None => {
+                                return ::core::result::Result::Err(
+                                    $crate::TestCaseError::reject("filtered"),
+                                );
+                            }
+                        };
+                    )*
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts within a [`proptest!`] body, failing the case (not the whole
+/// process) on falsehood.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality within a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{:?} != {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Discards the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -2i64..=2) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+        }
+
+        #[test]
+        fn map_and_filter_compose(x in (0u64..100).prop_map(|v| v * 2).prop_filter("nonzero", |&v| v != 0)) {
+            prop_assert!(x % 2 == 0);
+            prop_assert!((2..200).contains(&x));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..10) {
+            prop_assume!(x < 5);
+            prop_assert!(x < 5);
+        }
+
+        #[test]
+        fn float_classes_generate_their_class(x in crate::num::f64::NORMAL | crate::num::f64::ZERO) {
+            prop_assert!(x == 0.0 || x.is_normal());
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in crate::collection::vec(0u64..5, 1..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            crate::run_cases(
+                ProptestConfig::with_cases(10),
+                "runs_are_deterministic",
+                |rng| {
+                    out.push(Strategy::sample(&(0u64..1000), rng).unwrap());
+                    Ok(())
+                },
+            );
+        }
+        assert_eq!(first, second);
+    }
+}

@@ -31,7 +31,9 @@ fn main() {
     }
 
     println!("\n== Column unit: PE count sweep on a fixed workload ==\n");
-    let workload: Vec<(u64, u64)> = (0..96).map(|i| (250_000 + (i % 7) * 20_000, 120 + (i % 11) * 60)).collect();
+    let workload: Vec<(u64, u64)> = (0..96)
+        .map(|i| (250_000 + (i % 7) * 20_000, 120 + (i % 11) * 60))
+        .collect();
     println!("PEs   design        s/run    MMAPS    MMAPS/CLB  units/SLR");
     println!("----  ------------  -------  -------  ---------  ---------");
     for pes in [2u64, 4, 8, 16] {

@@ -15,9 +15,14 @@ use compstat::posit::{P64E12, P64E18, P64E9};
 
 fn summarize(name: &str, outcomes: &[CallOutcome]) {
     let n = outcomes.len();
-    let agree = outcomes.iter().filter(|o| o.called_variant == o.oracle_variant).count();
-    let underflows =
-        outcomes.iter().filter(|o| o.error.class == ErrorClass::UnderflowToZero).count();
+    let agree = outcomes
+        .iter()
+        .filter(|o| o.called_variant == o.oracle_variant)
+        .count();
+    let underflows = outcomes
+        .iter()
+        .filter(|o| o.error.class == ErrorClass::UnderflowToZero)
+        .count();
     let finite: Vec<f64> = outcomes
         .iter()
         .filter(|o| o.error.class == ErrorClass::Normal)
@@ -38,7 +43,10 @@ fn summarize(name: &str, outcomes: &[CallOutcome]) {
 fn main() {
     let ctx = Context::new(256);
     let columns: Vec<Column> = accuracy_corpus(7, 120);
-    println!("calling {} synthetic columns (p-values span 1 .. ~2^-400,000)\n", columns.len());
+    println!(
+        "calling {} synthetic columns (p-values span 1 .. ~2^-400,000)\n",
+        columns.len()
+    );
 
     let mut per_format: Vec<(&str, Vec<CallOutcome>)> = vec![
         ("binary64", Vec::new()),
@@ -53,11 +61,21 @@ fn main() {
         if oracle < compstat::bigfloat::BigFloat::pow2(compstat::pbd::CRITICAL_EXP) {
             critical += 1;
         }
-        per_format[0].1.push(call_column_with_oracle::<f64>(col, &oracle, &ctx));
-        per_format[1].1.push(call_column_with_oracle::<LogF64>(col, &oracle, &ctx));
-        per_format[2].1.push(call_column_with_oracle::<P64E9>(col, &oracle, &ctx));
-        per_format[3].1.push(call_column_with_oracle::<P64E12>(col, &oracle, &ctx));
-        per_format[4].1.push(call_column_with_oracle::<P64E18>(col, &oracle, &ctx));
+        per_format[0]
+            .1
+            .push(call_column_with_oracle::<f64>(col, &oracle, &ctx));
+        per_format[1]
+            .1
+            .push(call_column_with_oracle::<LogF64>(col, &oracle, &ctx));
+        per_format[2]
+            .1
+            .push(call_column_with_oracle::<P64E9>(col, &oracle, &ctx));
+        per_format[3]
+            .1
+            .push(call_column_with_oracle::<P64E12>(col, &oracle, &ctx));
+        per_format[4]
+            .1
+            .push(call_column_with_oracle::<P64E18>(col, &oracle, &ctx));
     }
     println!("{critical} columns are true variants (p < 2^-200)\n");
     for (name, outcomes) in &per_format {

@@ -39,9 +39,9 @@ fn main() {
     for _ in 0..n {
         oracle = ctx.mul(&oracle, &pb);
         in_f64 *= p;
-        in_log = in_log * LogF64::from_f64(p);
-        in_p12 = in_p12 * P64E12::from_f64(p);
-        in_p18 = in_p18 * P64E18::from_f64(p);
+        in_log *= LogF64::from_f64(p);
+        in_p12 *= P64E12::from_f64(p);
+        in_p18 *= P64E18::from_f64(p);
     }
     println!("exact value of 0.3^{n}: {}", oracle.to_sci_string(4));
     println!("(base-2 exponent {})\n", oracle.exponent().unwrap());

@@ -10,8 +10,9 @@
 
 use compstat::bigfloat::Context;
 use compstat::core::error::measure;
-use compstat::core::StatFloat;
-use compstat::hmm::{forward, forward_log, forward_oracle, forward_scaled, hcg_like, uniform_observations};
+use compstat::hmm::{
+    forward, forward_log, forward_oracle, forward_scaled, hcg_like, uniform_observations,
+};
 use compstat::posit::P64E18;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -51,7 +52,11 @@ fn main() {
 
     let l = forward_log(&model, &obs);
     let ml = measure(&oracle, &l, &ctx);
-    println!("log-space forward:  ln L = {:<14.3}  log10 rel err = {:.2}", l.ln_value(), ml.log10_rel);
+    println!(
+        "log-space forward:  ln L = {:<14.3}  log10 rel err = {:.2}",
+        l.ln_value(),
+        ml.log10_rel
+    );
 
     let p: P64E18 = forward(&model.prepare(), &obs);
     let mp = measure(&oracle, &p, &ctx);

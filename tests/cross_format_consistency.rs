@@ -20,7 +20,10 @@ fn forward_likelihood_all_formats_agree_in_range() {
     let obs = uniform_observations(&mut rng, 8, 120);
     let ctx = Context::new(256);
     let oracle = forward_oracle(&model, &obs, &ctx);
-    assert!(oracle.exponent().unwrap() > -900, "keep the workload inside f64 range");
+    assert!(
+        oracle.exponent().unwrap() > -900,
+        "keep the workload inside f64 range"
+    );
 
     let f: f64 = forward(&model.prepare(), &obs);
     assert!(measure(&oracle, &f, &ctx).log10_rel < -12.0);
@@ -48,7 +51,12 @@ fn deep_forward_only_wide_formats_survive() {
     let m18 = measure(&oracle, &p18, &ctx);
     let l = forward_log(&model, &obs);
     let ml = measure(&oracle, &l, &ctx);
-    assert!(m18.log10_rel < ml.log10_rel, "posit {} vs log {}", m18.log10_rel, ml.log10_rel);
+    assert!(
+        m18.log10_rel < ml.log10_rel,
+        "posit {} vs log {}",
+        m18.log10_rel,
+        ml.log10_rel
+    );
     // Both are decent in absolute terms.
     assert!(m18.log10_rel < -8.0);
     assert!(ml.log10_rel < -5.0);
@@ -72,7 +80,14 @@ fn pbd_pvalues_cross_check() {
 fn posit_conversion_chain_is_lossless_roundtrip() {
     // posit -> BigFloat -> posit must be the identity for every tested
     // pattern (across configs), including extremes.
-    for bits in [1u64, 2, 0x7FFF_FFFF_FFFF_FFFF, 1 << 62, (1 << 63) + 1, u64::MAX] {
+    for bits in [
+        1u64,
+        2,
+        0x7FFF_FFFF_FFFF_FFFF,
+        1 << 62,
+        (1 << 63) + 1,
+        u64::MAX,
+    ] {
         let p = P64E18::from_bits(bits);
         if p.is_nar() {
             continue;

@@ -2,8 +2,8 @@
 //! with where the paper makes it.
 
 use compstat::fpga::{
-    column_unit_resources, forward_pe, forward_unit_resources, paper_column_rows, perf_per_resource,
-    units_per_slr, ColumnUnit, Design, ForwardUnit,
+    column_unit_resources, forward_pe, forward_unit_resources, paper_column_rows,
+    perf_per_resource, units_per_slr, ColumnUnit, Design, ForwardUnit,
 };
 use compstat::posit::{FormatInfo, P64E18, P8E2};
 
@@ -18,7 +18,7 @@ fn abstract_two_orders_of_magnitude_accuracy_machinery() {
     let ln_val = scale as f64 * std::f64::consts::LN_2;
     let ulp_ln = ln_val.abs() * f64::EPSILON; // relative granularity of the value itself
     let granularity_log = ulp_ln; // d(e^l)/e^l = dl
-    // posit(64,18) at that scale: fraction bits available.
+                                  // posit(64,18) at that scale: fraction bits available.
     let frac_bits = FormatInfo::new(64, 18).fraction_bits_at_scale(scale);
     let granularity_posit = 2f64.powi(-(frac_bits as i32));
     assert!(
@@ -59,6 +59,7 @@ fn abstract_2x_performance_per_resource() {
 }
 
 #[test]
+#[allow(clippy::unusual_byte_groupings)] // groups are posit fields: sign_regime_exp_frac
 fn section3_posit_worked_example() {
     // posit(8,2) pattern 0_0001_10_1 == 1.5 * 2^-10 (Section III).
     assert_eq!(P8E2::from_bits(0b0_0001_10_1).to_f64(), 1.5 / 1024.0);
@@ -76,14 +77,32 @@ fn section5_pe_latency_formulas() {
 #[test]
 fn section6_slr_packing() {
     let rows = paper_column_rows();
-    assert_eq!(units_per_slr(rows[0].resources.clb), 4, "at most 4 log units");
-    assert!(units_per_slr(rows[1].resources.clb) >= 10, "easily 10 posit units");
+    assert_eq!(
+        units_per_slr(rows[0].resources.clb),
+        4,
+        "at most 4 log units"
+    );
+    assert!(
+        units_per_slr(rows[1].resources.clb) >= 10,
+        "easily 10 posit units"
+    );
 }
 
 #[test]
 fn table1_smallest_positive_numbers() {
-    for (es, exp) in [(6u32, -3_968i64), (9, -31_744), (12, -253_952), (15, -2_031_616), (18, -16_252_928), (21, -130_023_424)] {
-        assert_eq!(FormatInfo::new(64, es).min_positive_exp(), exp, "posit(64,{es})");
+    for (es, exp) in [
+        (6u32, -3_968i64),
+        (9, -31_744),
+        (12, -253_952),
+        (15, -2_031_616),
+        (18, -16_252_928),
+        (21, -130_023_424),
+    ] {
+        assert_eq!(
+            FormatInfo::new(64, es).min_positive_exp(),
+            exp,
+            "posit(64,{es})"
+        );
     }
     // And the runtime value agrees for the headline config.
     assert_eq!(P64E18::MIN_POSITIVE.scale(), Some(-16_252_928));
@@ -97,7 +116,10 @@ fn figure6_shape_posit_always_wins_gap_narrows() {
         (l - p) / l
     };
     let series: Vec<f64> = [13u64, 32, 64, 128].iter().map(|&h| imp(h)).collect();
-    assert!(series.iter().all(|&x| x > 0.05), "posit wins everywhere: {series:?}");
+    assert!(
+        series.iter().all(|&x| x > 0.05),
+        "posit wins everywhere: {series:?}"
+    );
     assert!(series[3] < series[0], "gap narrows with H: {series:?}");
 }
 

@@ -41,7 +41,10 @@ fn posit64_12_handles_100k_but_not_300k() {
     assert!(err_ok < -8.0, "posit(64,12) accurate at 2^-100k: {err_ok}");
     let (under, err_bad) = product_chain_error::<P64E12>(-300_000);
     assert!(!under);
-    assert!(err_bad > 0.0, "posit(64,12) saturates by 2^-300k: {err_bad}");
+    assert!(
+        err_bad > 0.0,
+        "posit(64,12) saturates by 2^-300k: {err_bad}"
+    );
 }
 
 #[test]
