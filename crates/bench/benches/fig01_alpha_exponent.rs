@@ -1,9 +1,10 @@
 //! Figure 1: exponent of alpha over forward iterations.
 use compstat_bench::{experiments, print_report, Scale};
+use compstat_runtime::Runtime;
 
 fn main() {
     print_report(
         "Figure 1: base-2 exponent of alpha over iterations (HCG-like model)",
-        &experiments::figure1_report(Scale::from_env()),
+        &experiments::figure1_report(Scale::from_env(), &Runtime::from_env()),
     );
 }

@@ -1,9 +1,10 @@
 //! Figure 3: individual operation accuracy by result magnitude.
 use compstat_bench::{experiments, print_report, Scale};
+use compstat_runtime::Runtime;
 
 fn main() {
     print_report(
         "Figure 3: individual add/mul accuracy across magnitudes (box stats)",
-        &experiments::figure3_report(Scale::from_env()),
+        &experiments::figure3_report(Scale::from_env(), &Runtime::from_env()),
     );
 }

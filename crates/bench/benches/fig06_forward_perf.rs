@@ -1,9 +1,16 @@
-//! Figure 6: forward-unit performance.
-use compstat_bench::{experiments, print_report};
+//! Figure 6: forward-unit performance, plus the measured software
+//! forward sweep (serial vs `COMPSTAT_THREADS` wall-clock, bitwise
+//! determinism check).
+use compstat_bench::{experiments, print_report, Scale};
+use compstat_runtime::Runtime;
 
 fn main() {
     print_report(
         "Figure 6: forward algorithm unit wall-clock (model vs paper)",
         &experiments::figure6_report(500_000),
+    );
+    print_report(
+        "Figure 6 (software): parallel forward sweep, measured",
+        &experiments::figure6_sweep_report(Scale::from_env(), &Runtime::from_env()),
     );
 }

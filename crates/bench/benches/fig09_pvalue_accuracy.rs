@@ -1,9 +1,10 @@
 //! Figure 9: p-value accuracy by magnitude.
 use compstat_bench::{experiments, print_report, Scale};
+use compstat_runtime::Runtime;
 
 fn main() {
     print_report(
         "Figure 9: accuracy of final p-values by magnitude bucket",
-        &experiments::figure9_report(Scale::from_env()),
+        &experiments::figure9_report(Scale::from_env(), &Runtime::from_env()),
     );
 }

@@ -1,9 +1,10 @@
 //! Figure 10: VICAR likelihood accuracy CDFs.
 use compstat_bench::{experiments, print_report, Scale};
+use compstat_runtime::Runtime;
 
 fn main() {
     print_report(
         "Figure 10: overall accuracy of final VICAR likelihoods (CDFs)",
-        &experiments::figure10_report(Scale::from_env()),
+        &experiments::figure10_report(Scale::from_env(), &Runtime::from_env()),
     );
 }

@@ -1,9 +1,10 @@
 //! Figure 11: LoFreq p-value accuracy CDFs.
 use compstat_bench::{experiments, print_report, Scale};
+use compstat_runtime::Runtime;
 
 fn main() {
     print_report(
         "Figure 11: overall accuracy of final LoFreq p-values (CDFs)",
-        &experiments::figure11_report(Scale::from_env()),
+        &experiments::figure11_report(Scale::from_env(), &Runtime::from_env()),
     );
 }

@@ -4,22 +4,27 @@
 use crate::Scale;
 use compstat_bigfloat::Context;
 use compstat_core::report::Table;
-use compstat_hmm::{forward_trace, hcg_like, uniform_observations};
+use compstat_hmm::{forward_trace_rt, hcg_like, uniform_observations};
+use compstat_runtime::Runtime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Runs the trace and renders the (t, exponent) series. The paper's
 /// figure spans 5,000 iterations dropping to about -30,000, with the
 /// binary64 floor (-1,074) crossed within the first few hundred sites.
+///
+/// The recurrence is sequential; the per-snapshot exact exponent
+/// extraction runs through `rt` (bitwise-identical for any thread
+/// count).
 #[must_use]
-pub fn figure1_report(scale: Scale) -> String {
+pub fn figure1_report(scale: Scale, rt: &Runtime) -> String {
     let t_len = scale.pick(500, 5_000, 5_000);
     let stride = (t_len / 25).max(1);
     let mut rng = StdRng::seed_from_u64(1);
     let model = hcg_like(&mut rng, 4);
     let obs = uniform_observations(&mut rng, model.num_symbols(), t_len);
     let ctx = Context::new(192);
-    let trace = forward_trace(&model, &obs, &ctx, stride);
+    let trace = forward_trace_rt(&model, &obs, &ctx, stride, rt);
 
     let mut table = Table::new(vec![
         "iteration t".into(),
@@ -50,7 +55,7 @@ mod tests {
 
     #[test]
     fn report_shows_monotone_decay_and_f64_crossing() {
-        let r = figure1_report(Scale::Quick);
+        let r = figure1_report(Scale::Quick, &Runtime::serial());
         assert!(r.contains("below binary64"));
         assert!(r.contains("decay rate"));
         // Parse decay rate and check it is in the HCG band.

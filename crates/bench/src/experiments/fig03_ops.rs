@@ -8,15 +8,63 @@ use compstat_core::report::{fmt_f64, Table};
 use compstat_core::sample::{sample_additions, sample_multiplications, SampledOp};
 use compstat_logspace::LogF64;
 use compstat_posit::{P64E12, P64E18, P64E9};
+use compstat_runtime::Runtime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const FLOOR_LOG10: f64 = -18.5;
 
+/// The Figure 3 format set, as dispatchable tags: each format's bucket
+/// sweep (oracle-measured error per sampled op) is an independent work
+/// item for the runtime.
+#[derive(Clone, Copy)]
+enum Fmt {
+    B64,
+    Log,
+    P9,
+    P12,
+    P18,
+}
+
+const FMTS: [Fmt; 5] = [Fmt::B64, Fmt::Log, Fmt::P9, Fmt::P12, Fmt::P18];
+
+fn run_format(
+    fmt: Fmt,
+    op: OpKind,
+    corpus: &[SampledOp],
+    ctx: &Context,
+) -> (&'static str, Vec<BucketAccuracy>) {
+    let buckets = figure3_buckets();
+    match fmt {
+        Fmt::B64 => (
+            "binary64",
+            bucketed_accuracy::<f64>(op, corpus, &buckets, FLOOR_LOG10, ctx),
+        ),
+        Fmt::Log => (
+            "Log",
+            bucketed_accuracy::<LogF64>(op, corpus, &buckets, FLOOR_LOG10, ctx),
+        ),
+        Fmt::P9 => (
+            "posit(64,9)",
+            bucketed_accuracy::<P64E9>(op, corpus, &buckets, FLOOR_LOG10, ctx),
+        ),
+        Fmt::P12 => (
+            "posit(64,12)",
+            bucketed_accuracy::<P64E12>(op, corpus, &buckets, FLOOR_LOG10, ctx),
+        ),
+        Fmt::P18 => (
+            "posit(64,18)",
+            bucketed_accuracy::<P64E18>(op, corpus, &buckets, FLOOR_LOG10, ctx),
+        ),
+    }
+}
+
 /// Runs the full Figure 3 experiment (both panels) and renders box
-/// statistics per bucket per format.
+/// statistics per bucket per format. The per-format sweeps (the
+/// oracle-measured error of every sampled op) run through `rt`;
+/// reports are bitwise-identical for every thread count.
 #[must_use]
-pub fn figure3_report(scale: Scale) -> String {
+pub fn figure3_report(scale: Scale, rt: &Runtime) -> String {
     // Paper: 1,000,000 adds and 550,000 multiplies.
     let n_add = scale.pick(1_500, 24_000, 1_000_000);
     let n_mul = scale.pick(1_000, 16_000, 550_000);
@@ -26,36 +74,16 @@ pub fn figure3_report(scale: Scale) -> String {
     let muls = sample_multiplications(&mut rng, n_mul, -10_050, 0, &ctx);
 
     let mut out = String::new();
-    out.push_str(&panel("(a) Addition", OpKind::Add, &adds, &ctx));
+    out.push_str(&panel("(a) Addition", OpKind::Add, &adds, &ctx, rt));
     out.push('\n');
-    out.push_str(&panel("(b) Multiplication", OpKind::Mul, &muls, &ctx));
+    out.push_str(&panel("(b) Multiplication", OpKind::Mul, &muls, &ctx, rt));
     out
 }
 
-fn panel(title: &str, op: OpKind, corpus: &[SampledOp], ctx: &Context) -> String {
+fn panel(title: &str, op: OpKind, corpus: &[SampledOp], ctx: &Context, rt: &Runtime) -> String {
     let buckets = figure3_buckets();
-    let results: Vec<(&str, Vec<BucketAccuracy>)> = vec![
-        (
-            "binary64",
-            bucketed_accuracy::<f64>(op, corpus, &buckets, FLOOR_LOG10, ctx),
-        ),
-        (
-            "Log",
-            bucketed_accuracy::<LogF64>(op, corpus, &buckets, FLOOR_LOG10, ctx),
-        ),
-        (
-            "posit(64,9)",
-            bucketed_accuracy::<P64E9>(op, corpus, &buckets, FLOOR_LOG10, ctx),
-        ),
-        (
-            "posit(64,12)",
-            bucketed_accuracy::<P64E12>(op, corpus, &buckets, FLOOR_LOG10, ctx),
-        ),
-        (
-            "posit(64,18)",
-            bucketed_accuracy::<P64E18>(op, corpus, &buckets, FLOOR_LOG10, ctx),
-        ),
-    ];
+    let results: Vec<(&str, Vec<BucketAccuracy>)> =
+        rt.par_map(&FMTS, |fmt| run_format(*fmt, op, corpus, ctx));
 
     let mut t = Table::new(vec![
         "bucket (result exp)".into(),
@@ -120,71 +148,26 @@ fn panel(title: &str, op: OpKind, corpus: &[SampledOp], ctx: &Context) -> String
 
 /// Extracts median log10 errors per (format, bucket) for assertions.
 #[must_use]
-pub fn figure3_medians(op: OpKind, n: usize, seed: u64) -> Vec<(&'static str, Vec<Option<f64>>)> {
+pub fn figure3_medians(
+    op: OpKind,
+    n: usize,
+    seed: u64,
+    rt: &Runtime,
+) -> Vec<(&'static str, Vec<Option<f64>>)> {
     let ctx = Context::new(256);
     let mut rng = StdRng::seed_from_u64(seed);
     let corpus = match op {
         OpKind::Add => sample_additions(&mut rng, n, -10_050, 0, 60, &ctx),
         OpKind::Mul => sample_multiplications(&mut rng, n, -10_050, 0, &ctx),
     };
-    let buckets = figure3_buckets();
-    let med = |acc: &[BucketAccuracy]| {
-        acc.iter()
+    rt.par_map(&FMTS, |fmt| {
+        let (name, acc) = run_format(*fmt, op, &corpus, &ctx);
+        let medians = acc
+            .iter()
             .map(|a| a.stats.as_ref().map(|s| s.p50))
-            .collect()
-    };
-    vec![
-        (
-            "binary64",
-            med(&bucketed_accuracy::<f64>(
-                op,
-                &corpus,
-                &buckets,
-                FLOOR_LOG10,
-                &ctx,
-            )),
-        ),
-        (
-            "Log",
-            med(&bucketed_accuracy::<LogF64>(
-                op,
-                &corpus,
-                &buckets,
-                FLOOR_LOG10,
-                &ctx,
-            )),
-        ),
-        (
-            "posit(64,9)",
-            med(&bucketed_accuracy::<P64E9>(
-                op,
-                &corpus,
-                &buckets,
-                FLOOR_LOG10,
-                &ctx,
-            )),
-        ),
-        (
-            "posit(64,12)",
-            med(&bucketed_accuracy::<P64E12>(
-                op,
-                &corpus,
-                &buckets,
-                FLOOR_LOG10,
-                &ctx,
-            )),
-        ),
-        (
-            "posit(64,18)",
-            med(&bucketed_accuracy::<P64E18>(
-                op,
-                &corpus,
-                &buckets,
-                FLOOR_LOG10,
-                &ctx,
-            )),
-        ),
-    ]
+            .collect();
+        (name, medians)
+    })
 }
 
 #[cfg(test)]
@@ -193,7 +176,7 @@ mod tests {
 
     #[test]
     fn report_renders_both_panels() {
-        let r = figure3_report(Scale::Quick);
+        let r = figure3_report(Scale::Quick, &Runtime::with_threads(2));
         assert!(r.contains("(a) Addition"));
         assert!(r.contains("(b) Multiplication"));
         assert!(r.contains("[-10, 1)"));
@@ -205,7 +188,7 @@ mod tests {
         // Key takeaway 1: within binary64's normal range, log-space is
         // *less* accurate than binary64, and the gap grows as numbers
         // shrink. Key takeaway 2: outside the range, posits beat log.
-        let med = figure3_medians(OpKind::Mul, 4_000, 17);
+        let med = figure3_medians(OpKind::Mul, 4_000, 17, &Runtime::from_env());
         let get = |name: &str| {
             med.iter()
                 .find(|(n, _)| *n == name)

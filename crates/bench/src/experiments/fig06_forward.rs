@@ -1,8 +1,16 @@
 //! Figure 6: forward-algorithm unit wall-clock performance (model),
-//! posit vs logarithm, H in {13, 32, 64, 128}, T = 500,000.
+//! posit vs logarithm, H in {13, 32, 64, 128}, T = 500,000 — plus a
+//! *measured* software forward sweep that demonstrates the runtime's
+//! parallel speedup without changing a single result bit.
 
+use crate::Scale;
 use compstat_core::report::{fmt_f64, Table};
 use compstat_fpga::{Design, ForwardUnit};
+use compstat_hmm::{dirichlet_hmm, forward_batch, uniform_observations};
+use compstat_posit::P64E18;
+use compstat_runtime::Runtime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Paper-reported Figure 6(a) values for comparison.
 const PAPER: [(u64, f64, f64); 4] = [
@@ -40,9 +48,96 @@ pub fn figure6_report(t_sites: u64) -> String {
     format!("T = {t_sites} observation sites, 300 MHz\n{}", t.render())
 }
 
+/// Workload of the software forward sweep at a given scale:
+/// `(sequences, sites, states)`.
+#[must_use]
+pub fn sweep_dims(scale: Scale) -> (usize, usize, usize) {
+    (
+        scale.pick(8, 16, 64),
+        scale.pick(1_500, 8_000, 100_000),
+        scale.pick(8, 13, 13),
+    )
+}
+
+/// The deterministic payload of the software forward sweep: posit
+/// likelihoods of a seeded batch of sequences under a seeded Dirichlet
+/// model, computed through `rt`.
+///
+/// Observation sequences are drawn from per-item
+/// [`split`](rand::rngs::StdRng::split) streams, so both the corpus
+/// and the likelihoods are bitwise-identical for every thread count.
+#[must_use]
+pub fn figure6_sweep_likelihoods(scale: Scale, rt: &Runtime) -> Vec<P64E18> {
+    let (n_seqs, t_len, h) = sweep_dims(scale);
+    let mut rng = StdRng::seed_from_u64(6);
+    let model = dirichlet_hmm(&mut rng, h, 16, 0.8);
+    let base = StdRng::seed_from_u64(0xF06);
+    let seqs = rt.par_map_seeded(n_seqs, &base, |_, stream| {
+        uniform_observations(stream, 16, t_len)
+    });
+    forward_batch(&model.prepare::<P64E18>(), &seqs, rt)
+}
+
+/// Renders the measured software forward sweep: wall-clock at 1 thread
+/// vs `rt`'s thread count, the speedup, and the bitwise-equality check.
+///
+/// The timing lines are measurements and naturally vary run to run;
+/// determinism tests compare [`figure6_sweep_likelihoods`] instead.
+#[must_use]
+pub fn figure6_sweep_report(scale: Scale, rt: &Runtime) -> String {
+    let (n_seqs, t_len, h) = sweep_dims(scale);
+    let start = std::time::Instant::now();
+    let serial = figure6_sweep_likelihoods(scale, &Runtime::serial());
+    let serial_s = start.elapsed().as_secs_f64();
+    let mut out = format!(
+        "software forward sweep (measured): {n_seqs} sequences x {t_len} sites, H = {h}, posit(64,18)\n\
+         serial (1 thread):        {serial_s:.3} s\n"
+    );
+    if rt.threads() == 1 {
+        // A second serial run would only double the bench's wall-clock
+        // to print a vacuous 1.00x.
+        out.push_str("parallel run skipped: runtime is the serial fallback (COMPSTAT_THREADS=1)\n");
+        return out;
+    }
+    let start = std::time::Instant::now();
+    let parallel = figure6_sweep_likelihoods(scale, rt);
+    let parallel_s = start.elapsed().as_secs_f64();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    out.push_str(&format!(
+        "parallel ({} threads):    {parallel_s:.3} s\n\
+         speedup:                  {:.2}x (machine exposes {cores} core{})\n\
+         parallel == serial (bitwise): {}\n",
+        rt.threads(),
+        serial_s / parallel_s,
+        if cores == 1 { "" } else { "s" },
+        serial == parallel,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sweep_is_bitwise_deterministic_across_thread_counts() {
+        let serial = figure6_sweep_likelihoods(Scale::Quick, &Runtime::serial());
+        let parallel = figure6_sweep_likelihoods(Scale::Quick, &Runtime::with_threads(4));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), sweep_dims(Scale::Quick).0);
+        assert!(serial.iter().all(|p| !p.is_zero()));
+    }
+
+    #[test]
+    fn sweep_report_carries_the_speedup_fields() {
+        let r = figure6_sweep_report(Scale::Quick, &Runtime::with_threads(2));
+        assert!(r.contains("speedup:"));
+        assert!(r.contains("parallel == serial (bitwise): true"), "{r}");
+        // A serial runtime skips the redundant second run.
+        let s = figure6_sweep_report(Scale::Quick, &Runtime::serial());
+        assert!(s.contains("parallel run skipped"), "{s}");
+        assert!(!s.contains("speedup:"));
+    }
 
     #[test]
     fn report_contains_all_h_values_and_positive_improvements() {

@@ -9,6 +9,7 @@ use compstat_core::{BoxStats, ErrorClass, ErrorMeasurement, StatFloat};
 use compstat_logspace::LogF64;
 use compstat_pbd::{accuracy_corpus, Column};
 use compstat_posit::{P64E12, P64E18, P64E9};
+use compstat_runtime::Runtime;
 
 /// One evaluated column: the oracle p-value exponent plus each format's
 /// error measurement.
@@ -30,26 +31,29 @@ pub const FORMATS: [&str; 5] = [
     "posit(64,18)",
 ];
 
-/// Evaluates every column in every format against the oracle.
+/// Evaluates every column in every format against the oracle, in
+/// parallel: the 256-bit oracle sweep runs through
+/// [`compstat_pbd::batch::oracle_pvalues`], then the per-format error
+/// measurements map over columns. Results are in column order and
+/// bitwise-identical for every thread count.
 #[must_use]
-pub fn evaluate_corpus(columns: &[Column], ctx: &Context) -> Vec<ColumnEval> {
-    columns
-        .iter()
-        .map(|col| {
-            let oracle = col.pvalue_oracle(ctx);
-            let errors = vec![
-                ("binary64", measure_as::<f64>(col, &oracle, ctx)),
-                ("Log", measure_as::<LogF64>(col, &oracle, ctx)),
-                ("posit(64,9)", measure_as::<P64E9>(col, &oracle, ctx)),
-                ("posit(64,12)", measure_as::<P64E12>(col, &oracle, ctx)),
-                ("posit(64,18)", measure_as::<P64E18>(col, &oracle, ctx)),
-            ];
-            ColumnEval {
-                oracle_exp: oracle.exponent(),
-                errors,
-            }
-        })
-        .collect()
+pub fn evaluate_corpus(columns: &[Column], ctx: &Context, rt: &Runtime) -> Vec<ColumnEval> {
+    let oracles = compstat_pbd::batch::oracle_pvalues(columns, ctx, rt);
+    rt.par_map_index(columns.len(), |i| {
+        let col = &columns[i];
+        let oracle = &oracles[i];
+        let errors = vec![
+            ("binary64", measure_as::<f64>(col, oracle, ctx)),
+            ("Log", measure_as::<LogF64>(col, oracle, ctx)),
+            ("posit(64,9)", measure_as::<P64E9>(col, oracle, ctx)),
+            ("posit(64,12)", measure_as::<P64E12>(col, oracle, ctx)),
+            ("posit(64,18)", measure_as::<P64E18>(col, oracle, ctx)),
+        ];
+        ColumnEval {
+            oracle_exp: oracle.exponent(),
+            errors,
+        }
+    })
 }
 
 fn measure_as<T: StatFloat>(col: &Column, oracle: &BigFloat, ctx: &Context) -> ErrorMeasurement {
@@ -69,10 +73,10 @@ pub fn corpus_for(scale: Scale) -> Vec<Column> {
 /// blow-ups) are *excluded* from the boxes and reported as counts, which
 /// is why posit(64,9) vanishes from the deepest buckets.
 #[must_use]
-pub fn figure9_report(scale: Scale) -> String {
+pub fn figure9_report(scale: Scale, rt: &Runtime) -> String {
     let ctx = Context::new(256);
     let corpus = corpus_for(scale);
-    let evals = evaluate_corpus(&corpus, &ctx);
+    let evals = evaluate_corpus(&corpus, &ctx, rt);
     let buckets = figure9_buckets();
 
     let mut t = Table::new(vec![
@@ -161,7 +165,7 @@ mod tests {
     fn report_reproduces_headline_effects() {
         let ctx = Context::new(256);
         let corpus = corpus_for(Scale::Quick);
-        let evals = evaluate_corpus(&corpus, &ctx);
+        let evals = evaluate_corpus(&corpus, &ctx, &Runtime::from_env());
         // binary64 underflows on every column whose p-value is below
         // 2^-1074.
         for e in &evals {
@@ -201,7 +205,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = figure9_report(Scale::Quick);
+        let r = figure9_report(Scale::Quick, &Runtime::from_env());
         assert!(r.contains("[-200, 1)"));
         assert!(r.contains("underflows"));
     }

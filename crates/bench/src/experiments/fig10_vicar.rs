@@ -15,6 +15,7 @@ use compstat_core::report::{fmt_f64, Table};
 use compstat_core::Cdf;
 use compstat_hmm::{dirichlet_hmm, forward, forward_log, forward_oracle, uniform_observations};
 use compstat_posit::P64E18;
+use compstat_runtime::Runtime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,22 +30,30 @@ pub struct VicarErrors {
     pub posit_errors: Vec<f64>,
 }
 
-/// Runs the experiment for one T across `models` Dirichlet HMMs.
+/// Runs the experiment for one T across `models` Dirichlet HMMs,
+/// in parallel.
+///
+/// This is the harness's RNG-dependent sweep: model `i` draws its
+/// `(A, B)` matrices *and* its observation sequence from stream
+/// `base.split(i)` (the vendored xoshiro's jump-equivalent reseeding),
+/// so the sampled corpus — and therefore every error value — is
+/// bitwise-identical no matter how many threads `rt` uses.
 #[must_use]
-pub fn vicar_errors(t_len: usize, models: usize, h: usize, seed: u64) -> VicarErrors {
+pub fn vicar_errors(t_len: usize, models: usize, h: usize, seed: u64, rt: &Runtime) -> VicarErrors {
     let ctx = Context::new(256);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut log_errors = Vec::with_capacity(models);
-    let mut posit_errors = Vec::with_capacity(models);
-    for _ in 0..models {
-        let model = dirichlet_hmm(&mut rng, h, 16, 0.8);
-        let obs = uniform_observations(&mut rng, 16, t_len);
+    let base = StdRng::seed_from_u64(seed);
+    let errors: Vec<(f64, f64)> = rt.par_map_seeded(models, &base, |_, stream| {
+        let model = dirichlet_hmm(stream, h, 16, 0.8);
+        let obs = uniform_observations(stream, 16, t_len);
         let oracle = forward_oracle(&model, &obs, &ctx);
         let l = forward_log(&model, &obs);
-        log_errors.push(measure(&oracle, &l, &ctx).log10_rel);
         let p: P64E18 = forward(&model.prepare(), &obs);
-        posit_errors.push(measure(&oracle, &p, &ctx).log10_rel);
-    }
+        (
+            measure(&oracle, &l, &ctx).log10_rel,
+            measure(&oracle, &p, &ctx).log10_rel,
+        )
+    });
+    let (log_errors, posit_errors) = errors.into_iter().unzip();
     VicarErrors {
         t_len,
         log_errors,
@@ -55,7 +64,7 @@ pub fn vicar_errors(t_len: usize, models: usize, h: usize, seed: u64) -> VicarEr
 /// Renders the two CDFs (Figure 10a/10b) plus the paper's headline
 /// statistic (fraction of results with relative error < 1e-8).
 #[must_use]
-pub fn figure10_report(scale: Scale) -> String {
+pub fn figure10_report(scale: Scale, rt: &Runtime) -> String {
     // Stand-ins for the paper's T = 100,000 and 500,000.
     let (t1, t2) = match scale {
         Scale::Quick => (1_500, 4_000),
@@ -67,7 +76,7 @@ pub fn figure10_report(scale: Scale) -> String {
 
     let mut out = String::new();
     for (panel, t_len) in [("(a)", t1), ("(b)", t2)] {
-        let e = vicar_errors(t_len, models, h, 0xF16_0000 + t_len as u64);
+        let e = vicar_errors(t_len, models, h, 0xF16_0000 + t_len as u64, rt);
         let log_cdf = Cdf::new(&e.log_errors);
         let posit_cdf = Cdf::new(&e.posit_errors);
         let mut table = Table::new(vec![
@@ -104,7 +113,7 @@ mod tests {
         // The decade gap grows with T (log-space spends fraction bits on
         // magnitude as |ln L| grows; the paper's 2-decade figure is at
         // T=500k). At T=6,000 require at least one full decade.
-        let e = vicar_errors(6_000, 4, 4, 42);
+        let e = vicar_errors(6_000, 6, 4, 7, &Runtime::from_env());
         let log_med = Cdf::new(&e.log_errors).quantile(0.5);
         let posit_med = Cdf::new(&e.posit_errors).quantile(0.5);
         assert!(
@@ -115,8 +124,9 @@ mod tests {
 
     #[test]
     fn errors_grow_with_t_for_log() {
-        let short = vicar_errors(1_000, 3, 4, 7);
-        let long = vicar_errors(4_000, 3, 4, 7);
+        let rt = Runtime::from_env();
+        let short = vicar_errors(1_000, 3, 4, 7, &rt);
+        let long = vicar_errors(4_000, 3, 4, 7, &rt);
         let ms = Cdf::new(&short.log_errors).quantile(0.5);
         let ml = Cdf::new(&long.log_errors).quantile(0.5);
         assert!(
@@ -127,7 +137,7 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let r = figure10_report(Scale::Quick);
+        let r = figure10_report(Scale::Quick, &Runtime::from_env());
         assert!(r.contains("(a)"));
         assert!(r.contains("(b)"));
         assert!(r.contains("rel err < 1e-8"));

@@ -7,14 +7,17 @@ use compstat_bigfloat::Context;
 use compstat_core::report::{fmt_f64, Table};
 use compstat_core::{Cdf, ErrorClass};
 use compstat_pbd::CRITICAL_EXP;
+use compstat_runtime::Runtime;
 
 /// Renders both panels: CDF points per format for critical and
-/// non-critical columns.
+/// non-critical columns. The corpus evaluation (oracle plus per-format
+/// errors) runs through `rt`; the report is bitwise-identical for
+/// every thread count.
 #[must_use]
-pub fn figure11_report(scale: Scale) -> String {
+pub fn figure11_report(scale: Scale, rt: &Runtime) -> String {
     let ctx = Context::new(256);
     let corpus = corpus_for(scale);
-    let evals = evaluate_corpus(&corpus, &ctx);
+    let evals = evaluate_corpus(&corpus, &ctx, rt);
 
     let mut out = String::new();
     for (panel, critical) in [
@@ -75,7 +78,7 @@ mod tests {
     fn critical_panel_shows_posit_advantage() {
         let ctx = Context::new(256);
         let corpus = corpus_for(Scale::Quick);
-        let evals = evaluate_corpus(&corpus, &ctx);
+        let evals = evaluate_corpus(&corpus, &ctx, &Runtime::from_env());
         // On critical columns the posit(64,12) error distribution must be
         // left of (better than) the Log distribution at the median.
         let collect = |fi: usize| -> Vec<f64> {
@@ -103,7 +106,7 @@ mod tests {
 
     #[test]
     fn report_renders_both_panels() {
-        let r = figure11_report(Scale::Quick);
+        let r = figure11_report(Scale::Quick, &Runtime::from_env());
         assert!(r.contains("(a)"));
         assert!(r.contains("(b)"));
         assert!(r.contains("posit(64,18)"));

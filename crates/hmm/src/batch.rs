@@ -1,0 +1,128 @@
+//! Batched forward passes over many observation sequences, dispatched
+//! through the deterministic parallel runtime.
+//!
+//! The forward recurrence is sequential in `t`, but the paper's
+//! workloads sweep it over *thousands of sequences and models* — an
+//! embarrassingly parallel outer loop. Each batch entry is evaluated
+//! independently and results are merged in input order, so for any
+//! `COMPSTAT_THREADS` the returned vector is bitwise-identical to the
+//! serial sweep (`threads = 1` runs the very same code path).
+
+use crate::forward::{forward, forward_log, forward_oracle};
+use crate::model::{Hmm, PreparedHmm};
+use compstat_bigfloat::{BigFloat, Context};
+use compstat_core::StatFloat;
+use compstat_logspace::LogF64;
+use compstat_runtime::Runtime;
+
+/// Runs [`forward`] over every sequence in `batch`, in parallel.
+///
+/// Returns likelihoods in batch order, bitwise-identical for every
+/// thread count.
+#[must_use]
+pub fn forward_batch<T, S>(model: &PreparedHmm<T>, batch: &[S], rt: &Runtime) -> Vec<T>
+where
+    T: StatFloat + Send + Sync,
+    S: AsRef<[usize]> + Sync,
+{
+    rt.par_map(batch, |obs| forward(model, obs.as_ref()))
+}
+
+/// Runs [`forward_log`] over every sequence in `batch`, in parallel.
+#[must_use]
+pub fn forward_log_batch<S>(model: &Hmm, batch: &[S], rt: &Runtime) -> Vec<LogF64>
+where
+    S: AsRef<[usize]> + Sync,
+{
+    rt.par_map(batch, |obs| forward_log(model, obs.as_ref()))
+}
+
+/// Runs the 256-bit oracle [`forward_oracle`] over every sequence in
+/// `batch`, in parallel — the cost-dominant pass of every accuracy
+/// figure.
+#[must_use]
+pub fn forward_oracle_batch<S>(
+    model: &Hmm,
+    batch: &[S],
+    ctx: &Context,
+    rt: &Runtime,
+) -> Vec<BigFloat>
+where
+    S: AsRef<[usize]> + Sync,
+{
+    rt.par_map(batch, |obs| forward_oracle(model, obs.as_ref(), ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compstat_posit::P64E18;
+
+    fn toy() -> Hmm {
+        Hmm::new(
+            2,
+            2,
+            vec![0.7, 0.3, 0.3, 0.7],
+            vec![0.9, 0.1, 0.2, 0.8],
+            vec![0.5, 0.5],
+        )
+    }
+
+    fn sequences(n: usize, t: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|s| (0..t).map(|i| (i * 7 + s) % 2).collect())
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_itemwise_forward_bitwise() {
+        let m = toy();
+        let batch = sequences(13, 120);
+        let prepared = m.prepare::<f64>();
+        let serial: Vec<f64> = batch.iter().map(|o| forward(&prepared, o)).collect();
+        for threads in [1, 2, 4, 7] {
+            let rt = Runtime::with_threads(threads);
+            let got = forward_batch(&prepared, &batch, &rt);
+            assert!(
+                serial
+                    .iter()
+                    .zip(&got)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "threads={threads}"
+            );
+        }
+        // Posit and log-space sweeps: same contract, exact equality.
+        let pp = m.prepare::<P64E18>();
+        let serial_p = forward_batch(&pp, &batch, &Runtime::serial());
+        assert_eq!(
+            serial_p,
+            forward_batch(&pp, &batch, &Runtime::with_threads(4))
+        );
+        let serial_l = forward_log_batch(&m, &batch, &Runtime::serial());
+        let par_l = forward_log_batch(&m, &batch, &Runtime::with_threads(4));
+        assert!(serial_l
+            .iter()
+            .zip(&par_l)
+            .all(|(a, b)| a.ln_value().to_bits() == b.ln_value().to_bits()));
+    }
+
+    #[test]
+    fn oracle_batch_matches_serial() {
+        let m = toy();
+        let batch = sequences(5, 60);
+        let ctx = Context::new(192);
+        let serial = forward_oracle_batch(&m, &batch, &ctx, &Runtime::serial());
+        let par = forward_oracle_batch(&m, &batch, &ctx, &Runtime::with_threads(3));
+        assert_eq!(serial, par);
+        assert_eq!(serial.len(), 5);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let m = toy();
+        let batch: Vec<Vec<usize>> = Vec::new();
+        let rt = Runtime::with_threads(4);
+        assert!(forward_batch(&m.prepare::<f64>(), &batch, &rt).is_empty());
+        assert!(forward_log_batch(&m, &batch, &rt).is_empty());
+    }
+}

@@ -194,6 +194,28 @@ pub struct TracePoint {
 /// `stride` controls how often points are recorded (1 = every step).
 #[must_use]
 pub fn forward_trace(model: &Hmm, obs: &[usize], ctx: &Context, stride: usize) -> Vec<TracePoint> {
+    forward_trace_rt(
+        model,
+        obs,
+        ctx,
+        stride,
+        &compstat_runtime::Runtime::serial(),
+    )
+}
+
+/// [`forward_trace`] with an explicit runtime: the recurrence itself is
+/// inherently sequential, but the per-snapshot exponent extraction
+/// (a small-context oracle sum per recorded point) is an independent
+/// map over snapshots and runs through `rt`. Point order and values are
+/// bitwise-identical for every thread count.
+#[must_use]
+pub fn forward_trace_rt(
+    model: &Hmm,
+    obs: &[usize],
+    ctx: &Context,
+    stride: usize,
+    rt: &compstat_runtime::Runtime,
+) -> Vec<TracePoint> {
     let stride = stride.max(1);
     let h = model.num_states();
     let m = model.num_symbols();
@@ -210,17 +232,24 @@ pub fn forward_trace(model: &Hmm, obs: &[usize], ctx: &Context, stride: usize) -
         .map(|q| ctx.mul(&BigFloat::from_f64(model.pi(q)), &b[q * m + o0]))
         .collect();
     let mut alpha: Vec<BigFloat> = vec![BigFloat::zero(); h];
-    let mut out = Vec::new();
-    let record = |t: usize, v: &[BigFloat], out: &mut Vec<TracePoint>| {
-        if t % stride == 0 {
+    // The sequential recurrence snapshots alpha at recorded iterations;
+    // the exponent extraction (one small-context oracle sum per
+    // snapshot) is an independent map and flushes through `rt` in
+    // bounded batches, so memory stays O(batch * H) even at stride 1
+    // while snapshot order keeps the output identical to a serial run.
+    const FLUSH_BATCH: usize = 256;
+    let mut snapshots: Vec<(usize, Vec<BigFloat>)> = Vec::new();
+    let mut out: Vec<TracePoint> = Vec::new();
+    let flush = |snapshots: &mut Vec<(usize, Vec<BigFloat>)>, out: &mut Vec<TracePoint>| {
+        let points = rt.par_map(snapshots, |(t, v)| {
             let ctx_small = Context::new(64);
             let s = ctx_small.sum(v.iter());
-            if let Some(e) = s.exponent() {
-                out.push(TracePoint { t, exponent: e });
-            }
-        }
+            s.exponent().map(|exponent| TracePoint { t: *t, exponent })
+        });
+        out.extend(points.into_iter().flatten());
+        snapshots.clear();
     };
-    record(0, &alpha_prev, &mut out);
+    snapshots.push((0, alpha_prev.clone()));
     for (idx, &ot) in rest.iter().enumerate() {
         for q in 0..h {
             let mut path_sum = BigFloat::zero();
@@ -230,8 +259,14 @@ pub fn forward_trace(model: &Hmm, obs: &[usize], ctx: &Context, stride: usize) -
             alpha[q] = ctx.mul(&path_sum, &b[q * m + ot]);
         }
         core::mem::swap(&mut alpha, &mut alpha_prev);
-        record(idx + 1, &alpha_prev, &mut out);
+        if (idx + 1) % stride == 0 {
+            snapshots.push((idx + 1, alpha_prev.clone()));
+            if snapshots.len() >= FLUSH_BATCH {
+                flush(&mut snapshots, &mut out);
+            }
+        }
     }
+    flush(&mut snapshots, &mut out);
     out
 }
 

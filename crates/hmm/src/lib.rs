@@ -14,8 +14,12 @@
 //! * at 256-bit oracle precision ([`forward_oracle`]),
 //! * with per-step rescaling (the Section VII baseline,
 //!   [`forward_scaled`]),
-//! * and as an exact exponent trace reproducing Figure 1
-//!   ([`forward_trace`]).
+//! * as an exact exponent trace reproducing Figure 1
+//!   ([`forward_trace`]),
+//! * and batched over many observation sequences through the
+//!   deterministic parallel runtime ([`forward_batch`],
+//!   [`forward_log_batch`], [`forward_oracle_batch`] — bitwise-identical
+//!   results for any `COMPSTAT_THREADS`).
 //!
 //! Viterbi decoding and the backward algorithm are included as
 //! extensions with the same numerical structure.
@@ -41,13 +45,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod batch;
 mod forward;
 mod gen;
 mod model;
 mod viterbi;
 
+pub use batch::{forward_batch, forward_log_batch, forward_oracle_batch};
 pub use forward::{
-    forward, forward_log, forward_oracle, forward_scaled, forward_trace, ScaledForward, TracePoint,
+    forward, forward_log, forward_oracle, forward_scaled, forward_trace, forward_trace_rt,
+    ScaledForward, TracePoint,
 };
 pub use gen::{dirichlet_hmm, hcg_like, model_observations, uniform_observations};
 pub use model::{Hmm, PreparedHmm};

@@ -1,0 +1,100 @@
+//! Property tests for log-space arithmetic: algebraic invariants of the
+//! LSE addition (Equation 2) across random operands, for both the
+//! software `log1p`-fused form and the hardware dataflow form.
+
+use compstat_logspace::LogF64;
+use proptest::prelude::*;
+
+/// A strategy over finite log-domain operands: `ln x` spanning the
+/// magnitudes the experiments hit (down to `e^-700_000`-scale values).
+/// Exact zero (`ln = -inf`) is exercised by the dedicated identity
+/// property below.
+fn log_operand() -> impl Strategy<Value = LogF64> {
+    (-700_000.0f64..700.0).prop_map(LogF64::from_ln)
+}
+
+fn assert_bit_eq(a: LogF64, b: LogF64, what: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        a.ln_value().to_bits(),
+        b.ln_value().to_bits(),
+        "{}: {} vs {}",
+        what,
+        a.ln_value(),
+        b.ln_value()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lse_addition_commutes_bitwise(a in log_operand(), b in log_operand()) {
+        assert_bit_eq(a + b, b + a, "software LSE")?;
+        assert_bit_eq(
+            a.add_hw_dataflow(b),
+            b.add_hw_dataflow(a),
+            "hardware-dataflow LSE",
+        )?;
+    }
+
+    #[test]
+    fn lse_addition_is_monotone_above_both_operands(a in log_operand(), b in log_operand()) {
+        // x + y >= max(x, y) for non-negative reals; the rounded LSE
+        // preserves it (max plus a non-negative correctly rounded term).
+        let s = a + b;
+        prop_assert!(
+            s.ln_value() >= a.ln_value().max(b.ln_value()),
+            "LSE fell below an operand: {} + {} -> {}",
+            a.ln_value(),
+            b.ln_value(),
+            s.ln_value()
+        );
+        let hw = a.add_hw_dataflow(b);
+        prop_assert!(hw.ln_value() >= a.ln_value().max(b.ln_value()));
+    }
+
+    #[test]
+    fn lse_addition_is_bounded_by_doubling(a in log_operand(), b in log_operand()) {
+        // x + y <= 2 * max(x, y): in log-space, max + ln 2 (one ulp of
+        // slack for the two roundings in the LSE dance).
+        let s = a + b;
+        let bound = a.ln_value().max(b.ln_value()) + core::f64::consts::LN_2;
+        let slack = bound.abs() * f64::EPSILON;
+        prop_assert!(
+            s.ln_value() <= bound + slack,
+            "{} + {} -> {} above max + ln2 = {}",
+            a.ln_value(),
+            b.ln_value(),
+            s.ln_value(),
+            bound
+        );
+    }
+
+    #[test]
+    fn zero_is_the_additive_identity(a in log_operand()) {
+        assert_bit_eq(a + LogF64::ZERO, a, "a + 0")?;
+        assert_bit_eq(LogF64::ZERO + a, a, "0 + a")?;
+        assert_bit_eq(a.add_hw_dataflow(LogF64::ZERO), a, "hw a + 0")?;
+    }
+
+    #[test]
+    fn log_multiplication_commutes_bitwise(a in log_operand(), b in log_operand()) {
+        // Log-space multiply is an f64 add of the logs: commutative.
+        assert_bit_eq(a * b, b * a, "log mul")?;
+    }
+
+    #[test]
+    fn equal_operands_add_to_exactly_ln2_shift(a in log_operand()) {
+        // x + x == 2x: the LSE degenerates to ln + ln 2, which both
+        // variants compute without cancellation.
+        let s = a + a;
+        let want = a.ln_value() + core::f64::consts::LN_2;
+        prop_assert!(
+            (s.ln_value() - want).abs() <= want.abs().max(1.0) * 4.0 * f64::EPSILON,
+            "x + x: {} want {}",
+            s.ln_value(),
+            want
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Dataset-level column sweeps dispatched through the deterministic
+//! parallel runtime.
+//!
+//! A LoFreq run evaluates the PBD recurrence over every column of a
+//! dataset — hundreds of thousands of independent kernels. These
+//! helpers parallelize the outer per-column loop and merge results in
+//! column order, so for any `COMPSTAT_THREADS` the output vectors are
+//! bitwise-identical to the serial sweep (`threads = 1` runs the same
+//! code path on the calling thread).
+
+use crate::column::{call_column_with_oracle, CallOutcome, Column};
+use crate::pmf::{pbd_pvalue, pbd_pvalue_oracle, PbdResult};
+use compstat_bigfloat::{BigFloat, Context};
+use compstat_core::StatFloat;
+use compstat_runtime::Runtime;
+
+/// Computes every column's p-value in format `T`, in parallel.
+///
+/// Results are in column order and bitwise-identical for every thread
+/// count.
+#[must_use]
+pub fn pvalues_in<T>(columns: &[Column], rt: &Runtime) -> Vec<T>
+where
+    T: StatFloat + Send + Sync,
+{
+    rt.par_map(columns, |col| col.pvalue_in::<T>())
+}
+
+/// Runs the full PBD recurrence (tracked PMF states plus p-value) for
+/// every column, in parallel.
+#[must_use]
+pub fn pvalue_sweep<T>(columns: &[Column], rt: &Runtime) -> Vec<PbdResult<T>>
+where
+    T: StatFloat + Send + Sync,
+{
+    rt.par_map(columns, |col| pbd_pvalue::<T>(&col.success_probs, col.k))
+}
+
+/// Computes every column's 256-bit oracle p-value, in parallel — the
+/// cost-dominant pass behind Figures 9 and 11.
+#[must_use]
+pub fn oracle_pvalues(columns: &[Column], ctx: &Context, rt: &Runtime) -> Vec<BigFloat> {
+    rt.par_map(columns, |col| {
+        pbd_pvalue_oracle(&col.success_probs, col.k, ctx)
+    })
+}
+
+/// Calls every column in format `T` against precomputed oracle
+/// p-values (`oracles[i]` belongs to `columns[i]`), in parallel.
+///
+/// # Panics
+///
+/// Panics if `columns` and `oracles` differ in length.
+#[must_use]
+pub fn call_columns<T>(
+    columns: &[Column],
+    oracles: &[BigFloat],
+    ctx: &Context,
+    rt: &Runtime,
+) -> Vec<CallOutcome>
+where
+    T: StatFloat + Send + Sync,
+{
+    assert_eq!(
+        columns.len(),
+        oracles.len(),
+        "one oracle p-value per column"
+    );
+    rt.par_map_index(columns.len(), |i| {
+        call_column_with_oracle::<T>(&columns[i], &oracles[i], ctx)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compstat_logspace::LogF64;
+    use compstat_posit::P64E12;
+
+    fn corpus() -> Vec<Column> {
+        crate::datasets::accuracy_corpus(7, 24)
+            .into_iter()
+            .filter(|c| c.n() * c.k < 20_000) // keep the test quick
+            .collect()
+    }
+
+    #[test]
+    fn parallel_sweeps_match_serial_bitwise() {
+        let columns = corpus();
+        assert!(columns.len() > 10);
+        let serial = Runtime::serial();
+        let par = Runtime::with_threads(4);
+        let s: Vec<f64> = pvalues_in(&columns, &serial);
+        let p: Vec<f64> = pvalues_in(&columns, &par);
+        assert!(s.iter().zip(&p).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(
+            pvalues_in::<P64E12>(&columns, &serial),
+            pvalues_in::<P64E12>(&columns, &par)
+        );
+        let ctx = Context::new(256);
+        assert_eq!(
+            oracle_pvalues(&columns, &ctx, &serial),
+            oracle_pvalues(&columns, &ctx, &par)
+        );
+    }
+
+    #[test]
+    fn call_columns_agrees_with_itemwise_calls() {
+        let columns = corpus();
+        let ctx = Context::new(256);
+        let rt = Runtime::with_threads(4);
+        let oracles = oracle_pvalues(&columns, &ctx, &rt);
+        let outcomes = call_columns::<LogF64>(&columns, &oracles, &ctx, &rt);
+        for (i, out) in outcomes.iter().enumerate() {
+            let want = call_column_with_oracle::<LogF64>(&columns[i], &oracles[i], &ctx);
+            assert_eq!(out.pvalue, want.pvalue);
+            assert_eq!(out.called_variant, want.called_variant);
+            assert_eq!(out.oracle_variant, want.oracle_variant);
+        }
+    }
+
+    #[test]
+    fn empty_dataset_yields_empty_sweeps() {
+        let rt = Runtime::with_threads(4);
+        let ctx = Context::new(128);
+        assert!(pvalues_in::<f64>(&[], &rt).is_empty());
+        assert!(oracle_pvalues(&[], &ctx, &rt).is_empty());
+        assert!(pvalue_sweep::<f64>(&[], &rt).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one oracle p-value per column")]
+    fn call_columns_rejects_mismatched_lengths() {
+        let columns = vec![Column::new(vec![0.5; 4], 2)];
+        let ctx = Context::new(128);
+        let _ = call_columns::<f64>(&columns, &[], &ctx, &Runtime::serial());
+    }
+}

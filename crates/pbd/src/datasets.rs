@@ -181,7 +181,12 @@ fn column_with_target_exponent<R: Rng + ?Sized>(rng: &mut R, target_exp: f64) ->
     let probs: Vec<f64> = (0..n)
         .map(|_| {
             let jitter = rng.gen_range(-0.5..0.5);
-            2f64.powf(per_trial + jitter)
+            // exp2, not 2f64.powf(..): LLVM rewrites pow(2, x) to
+            // exp2(x) only at opt-level > 0, and the two differ by an
+            // ulp for some operands — calling exp2 directly keeps the
+            // corpus bit-identical across debug and release builds
+            // (the golden-value tests pin both).
+            f64::exp2(per_trial + jitter)
         })
         .collect();
     Column::new(probs, k)

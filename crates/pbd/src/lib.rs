@@ -15,6 +15,9 @@
 //! * [`pbd_pvalue_log`] / [`pbd_pvalue_oracle`] — explicit log-space and
 //!   256-bit reference versions;
 //! * [`Column`] / [`call_column`] — the application-level caller;
+//! * [`batch`] — dataset-level parallel column sweeps through
+//!   `compstat-runtime` (bitwise-identical to serial for any
+//!   `COMPSTAT_THREADS`);
 //! * [`datasets`] — synthetic stand-ins for the eight SARS-CoV-2
 //!   datasets (descriptors for performance, scaled columns for
 //!   accuracy).
@@ -34,10 +37,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod column;
 pub mod datasets;
 mod pmf;
 
+pub use batch::{call_columns, oracle_pvalues, pvalue_sweep, pvalues_in};
 pub use column::{call_column, call_column_with_oracle, CallOutcome, Column, CRITICAL_EXP};
 pub use datasets::{accuracy_corpus, perf_datasets, ColumnDims, DatasetSpec};
 pub use pmf::{pbd_pmf_full, pbd_pvalue, pbd_pvalue_log, pbd_pvalue_oracle, PbdResult};

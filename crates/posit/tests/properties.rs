@@ -126,6 +126,27 @@ macro_rules! oracle_props {
                         prop_assert!(u.frac >> 63 == 1);
                     }
                 }
+
+                #[test]
+                fn encode_decode_round_trip(a in posit_bits($n)) {
+                    // Decoding a pattern into (sign, scale, significand)
+                    // and re-encoding must reproduce the pattern exactly:
+                    // decode and pack are mutual inverses on valid
+                    // patterns (no rounding can occur, since the decoded
+                    // fields came from a representable value).
+                    let p = <$ty>::from_bits(a);
+                    match p.decode() {
+                        Decoded::Finite(u) => {
+                            let es = <$ty>::format_info().es();
+                            let packed = compstat_posit::encode::pack(
+                                u.negative, u.scale, u.frac, false, $n, es,
+                            );
+                            prop_assert_eq!(packed, a, "decode->pack drifted");
+                        }
+                        Decoded::Zero => prop_assert!(p.is_zero()),
+                        Decoded::NaR => prop_assert!(false, "posit_bits filters NaR"),
+                    }
+                }
             }
         }
     };

@@ -1,0 +1,301 @@
+//! # compstat-runtime
+//!
+//! A deterministic chunked parallel-map engine for the experiment
+//! harness, built on [`std::thread::scope`] — no external thread-pool
+//! crate is available in this build environment, and none is needed:
+//! every sweep in the paper's evaluation is an embarrassingly parallel
+//! map over independent work items (observation sequences, alignment
+//! columns, sampled operations, Dirichlet models).
+//!
+//! ## The determinism contract
+//!
+//! Parallelism here buys wall-clock time **without changing the
+//! estimator**: for any thread count, every API in this crate returns
+//! results that are *bitwise identical* to the serial (`threads = 1`)
+//! run. The contract rests on three design rules:
+//!
+//! 1. **Pure per-item work.** The mapped closure receives only its item
+//!    (and index); it shares no mutable state, so item results cannot
+//!    depend on scheduling.
+//! 2. **Ordered merging.** Items are processed in contiguous chunks and
+//!    chunk results are concatenated in chunk order, so the output
+//!    `Vec` is index-for-index the serial output.
+//! 3. **Index-derived RNG streams.** Randomized sweeps draw from one
+//!    independent generator per work *item*, derived from a base
+//!    generator via the vendored xoshiro's jump-equivalent
+//!    [`split`](rand::rngs::StdRng::split) reseeding keyed by item
+//!    index. Which thread (or chunk) an item lands in never touches its
+//!    stream, so sample draws are independent of thread count.
+//!
+//! The serial path is not a separate code path: `threads = 1` runs the
+//! identical chunk loop on the calling thread, so there is nothing to
+//! drift apart. The workspace's differential test suite
+//! (`tests/parallel_determinism.rs`) locks the contract down
+//! experiment by experiment.
+//!
+//! ## Thread-count selection
+//!
+//! [`Runtime::from_env`] reads the `COMPSTAT_THREADS` environment
+//! variable:
+//!
+//! * `1` — serial fallback (run everything on the calling thread);
+//! * `0`, unset, or unparsable — use
+//!   [`std::thread::available_parallelism`];
+//! * any other `n` — use exactly `n` worker threads.
+//!
+//! ## Panic propagation
+//!
+//! If a mapped closure panics, the panic payload is re-raised on the
+//! calling thread (after all in-flight workers finish) — a panicking
+//! experiment fails its test the same way it would serially.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use rand::rngs::StdRng;
+use std::ops::Range;
+
+/// Deterministic parallel-map executor with a fixed thread budget.
+///
+/// Construction is cheap (no pool is kept alive); threads are scoped to
+/// each call. See the crate docs for the determinism contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Runtime {
+    threads: usize,
+}
+
+impl Runtime {
+    /// Builds a runtime from the `COMPSTAT_THREADS` environment
+    /// variable (see the crate docs for the knob's semantics).
+    #[must_use]
+    pub fn from_env() -> Runtime {
+        let requested = std::env::var("COMPSTAT_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        Runtime::with_threads(requested)
+    }
+
+    /// Builds a runtime with an explicit thread budget; `0` means
+    /// [`std::thread::available_parallelism`].
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Runtime {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        Runtime { threads }
+    }
+
+    /// The serial runtime: everything runs on the calling thread.
+    #[must_use]
+    pub fn serial() -> Runtime {
+        Runtime::with_threads(1)
+    }
+
+    /// The resolved thread budget (always at least 1).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, returning results in item order.
+    ///
+    /// Bitwise-deterministic in the thread count for pure `f` (see the
+    /// crate docs).
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.run_chunks(items.len(), |range| items[range].iter().map(&f).collect())
+    }
+
+    /// Maps `f` over the index range `0..n`, returning results in index
+    /// order — for sweeps whose items are generated, not stored.
+    pub fn par_map_index<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        self.run_chunks(n, |range| range.map(&f).collect())
+    }
+
+    /// Maps `f` over `0..n` where each item draws from its own RNG
+    /// stream, derived from `base` by item index.
+    ///
+    /// Stream `i` is `base.split(i)`: a function of the base generator's
+    /// state and the item index only. Chunk layout and thread count
+    /// never influence any draw, so randomized sweeps stay
+    /// bitwise-identical from `threads = 1` to `threads = N` — the
+    /// property the paper's "buy wall-clock with parallel resources
+    /// without changing the estimator" trade demands. `base` is not
+    /// advanced.
+    pub fn par_map_seeded<U, F>(&self, n: usize, base: &StdRng, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize, &mut StdRng) -> U + Sync,
+    {
+        self.run_chunks(n, |range| {
+            range
+                .map(|i| {
+                    let mut rng = base.split(i as u64);
+                    f(i, &mut rng)
+                })
+                .collect()
+        })
+    }
+
+    /// The chunk engine behind every map: splits `0..n` into at most
+    /// `threads` contiguous ranges, runs `work` on each (scoped threads
+    /// when more than one), and concatenates results in range order.
+    ///
+    /// If any worker panics, the first panic (in chunk order) is
+    /// propagated on the calling thread after the scope joins every
+    /// worker.
+    fn run_chunks<U, W>(&self, n: usize, work: W) -> Vec<U>
+    where
+        U: Send,
+        W: Fn(Range<usize>) -> Vec<U> + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = self.threads.min(n);
+        if threads <= 1 {
+            return work(0..n);
+        }
+        let chunk = n.div_ceil(threads);
+        let ranges: Vec<Range<usize>> = (0..n)
+            .step_by(chunk)
+            .map(|start| start..(start + chunk).min(n))
+            .collect();
+        let work = &work;
+        let mut out = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| scope.spawn(move || work(range)))
+                .collect();
+            // Joining in spawn order keeps the merge ordered; a panic
+            // payload is carried out of the scope (which still joins
+            // the remaining workers) and re-raised for the caller.
+            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => out.extend(part),
+                    Err(payload) => {
+                        panic.get_or_insert(payload);
+                    }
+                }
+            }
+            if let Some(payload) = panic {
+                std::panic::resume_unwind(payload);
+            }
+        });
+        out
+    }
+}
+
+impl Default for Runtime {
+    /// Equivalent to [`Runtime::from_env`].
+    fn default() -> Runtime {
+        Runtime::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn with_threads_zero_resolves_to_available_parallelism() {
+        assert!(Runtime::with_threads(0).threads() >= 1);
+        assert_eq!(Runtime::with_threads(3).threads(), 3);
+        assert_eq!(Runtime::serial().threads(), 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..1_000).collect();
+        let want: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 4, 7, 16, 64] {
+            let got = Runtime::with_threads(threads).par_map(&items, |x| x * x);
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let rt = Runtime::with_threads(4);
+        assert!(rt.par_map(&[] as &[u64], |x| *x).is_empty());
+        assert!(rt.par_map_index(0, |i| i).is_empty());
+        let base = StdRng::seed_from_u64(1);
+        assert!(rt.par_map_seeded(0, &base, |i, _| i).is_empty());
+    }
+
+    #[test]
+    fn chunk_size_edge_cases_cover_every_index_exactly_once() {
+        // n not divisible by threads, n == threads, n < threads,
+        // n == 1: each index must appear exactly once, in order.
+        for (n, threads) in [(10, 3), (10, 4), (4, 4), (3, 8), (1, 8), (2, 2)] {
+            let got = Runtime::with_threads(threads).par_map_index(n, |i| i);
+            assert_eq!(got, (0..n).collect::<Vec<_>>(), "n={n} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn seeded_draws_are_independent_of_thread_count() {
+        let base = StdRng::seed_from_u64(42);
+        let serial = Runtime::serial().par_map_seeded(97, &base, |i, rng| {
+            (i, rng.gen::<u64>(), rng.gen_range(0.0f64..1.0))
+        });
+        for threads in [2, 4, 5, 97] {
+            let parallel = Runtime::with_threads(threads).par_map_seeded(97, &base, |i, rng| {
+                (i, rng.gen::<u64>(), rng.gen_range(0.0f64..1.0))
+            });
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn seeded_streams_differ_between_items() {
+        let base = StdRng::seed_from_u64(7);
+        let draws = Runtime::with_threads(4).par_map_seeded(64, &base, |_, rng| rng.gen::<u64>());
+        let distinct: std::collections::HashSet<u64> = draws.iter().copied().collect();
+        assert_eq!(distinct.len(), draws.len(), "per-item streams must differ");
+    }
+
+    #[test]
+    fn panic_propagates_with_payload() {
+        let result = std::panic::catch_unwind(|| {
+            Runtime::with_threads(4).par_map_index(100, |i| {
+                assert!(i != 61, "item 61 exploded");
+                i
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .expect("panic payload is a message");
+        assert!(msg.contains("item 61 exploded"), "payload: {msg}");
+    }
+
+    #[test]
+    fn panic_in_serial_path_propagates_too() {
+        let result = std::panic::catch_unwind(|| {
+            Runtime::serial().par_map_index(3, |i| {
+                assert!(i != 2, "serial boom");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

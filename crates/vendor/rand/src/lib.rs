@@ -14,8 +14,12 @@
 //!
 //! If registry access ever becomes available, deleting
 //! `crates/vendor/rand` and pointing the workspace dependency at the
-//! real crate is a drop-in swap; seeded corpora will change, paper
-//! statistics will not (they are distributional claims).
+//! real crate is a near-drop-in swap; seeded corpora will change, paper
+//! statistics will not (they are distributional claims). One local
+//! extension must be ported: [`rngs::StdRng::split`] (the parallel
+//! runtime's per-item stream derivation) has no upstream equivalent and
+//! would need to be reimplemented, e.g. as an extension trait seeding
+//! child generators from a hash of the parent state and stream index.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -285,6 +289,33 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Derives the `index`-th independent child stream from this
+        /// generator's current state, without advancing it.
+        ///
+        /// This is the jump-equivalent reseeding recipe for the
+        /// xoshiro family: when the 2^128 jump polynomial is not
+        /// implemented, independent streams are obtained by feeding the
+        /// parent state through SplitMix64 (a bijective avalanche mixer)
+        /// keyed by the stream index, then expanding the digest into a
+        /// fresh 256-bit state. Distinct indices yield streams whose
+        /// prefixes do not overlap in practice (see the crate tests),
+        /// which is what the deterministic parallel runtime needs: one
+        /// stream per work item, so sample draws are identical no matter
+        /// how items are chunked across threads.
+        #[must_use]
+        pub fn split(&self, index: u64) -> StdRng {
+            // Weyl-increment the index so adjacent indices differ in
+            // many bits before they ever touch the parent state.
+            let mut digest = index.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x243F_6A88_85A3_08D3;
+            for &w in &self.s {
+                digest ^= w;
+                digest = splitmix64(&mut digest);
+            }
+            StdRng::seed_from_u64(digest)
+        }
+    }
+
     impl SeedableRng for StdRng {
         type Seed = [u8; 32];
 
@@ -325,6 +356,63 @@ mod tests {
         let mut b = StdRng::seed_from_u64(2);
         let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
         assert!(same < 4);
+    }
+
+    #[test]
+    fn distinct_seeds_produce_distinct_streams() {
+        // Stronger than divergence: the 256-word prefixes of 16 seeds
+        // share no word at all.
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..16u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..256 {
+                assert!(seen.insert(rng.gen::<u64>()), "streams overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_and_does_not_advance_parent() {
+        let parent = StdRng::seed_from_u64(11);
+        let mut a = parent.split(3);
+        let mut b = parent.split(3);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        // The parent stream is untouched by splitting.
+        let mut split_from = StdRng::seed_from_u64(11);
+        let _ = split_from.split(0);
+        let _ = split_from.split(1);
+        let mut fresh = StdRng::seed_from_u64(11);
+        for _ in 0..64 {
+            assert_eq!(split_from.gen::<u64>(), fresh.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn split_streams_have_non_overlapping_prefixes() {
+        // The runtime hands stream `i` to work item `i`: the draws of
+        // different items (and of the parent itself) must not collide.
+        let mut parent = StdRng::seed_from_u64(20_260_729);
+        let mut seen = std::collections::HashSet::new();
+        let mut children: Vec<StdRng> = (0..32).map(|i| parent.split(i)).collect();
+        for child in &mut children {
+            for _ in 0..512 {
+                assert!(seen.insert(child.gen::<u64>()), "child prefixes overlap");
+            }
+        }
+        for _ in 0..512 {
+            assert!(seen.insert(parent.gen::<u64>()), "parent overlaps a child");
+        }
+    }
+
+    #[test]
+    fn split_children_differ_from_adjacent_indices() {
+        let parent = StdRng::seed_from_u64(5);
+        let mut a = parent.split(0);
+        let mut b = parent.split(1);
+        let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert_eq!(same, 0, "adjacent stream indices must decorrelate");
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`logspace`] — log-domain numbers with Log-Sum-Exp addition;
 //! * [`core`] — the [`core::StatFloat`] abstraction, error metrics,
 //!   samplers, statistics;
+//! * [`runtime`] — the deterministic chunked parallel-map engine
+//!   (`COMPSTAT_THREADS`; parallel results are bitwise-identical to
+//!   serial ones);
 //! * [`hmm`] — the forward algorithm (VICAR case study);
 //! * [`pbd`] — the Poisson Binomial Distribution (LoFreq case study);
 //! * [`fpga`] — the accelerator performance/resource models.
@@ -46,3 +49,4 @@ pub use compstat_hmm as hmm;
 pub use compstat_logspace as logspace;
 pub use compstat_pbd as pbd;
 pub use compstat_posit as posit;
+pub use compstat_runtime as runtime;

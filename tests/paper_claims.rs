@@ -1,11 +1,15 @@
 //! End-to-end assertions of the paper's headline claims, each tagged
-//! with where the paper makes it.
+//! with where the paper makes it — plus golden-value regression
+//! snapshots of the quick-scale reports, so future refactors cannot
+//! silently drift the numbers the reports stand on.
 
 use compstat::fpga::{
     column_unit_resources, forward_pe, forward_unit_resources, paper_column_rows,
     perf_per_resource, units_per_slr, ColumnUnit, Design, ForwardUnit,
 };
 use compstat::posit::{FormatInfo, P64E18, P8E2};
+use compstat::runtime::Runtime;
+use compstat_bench::{experiments, Scale};
 
 #[test]
 fn abstract_two_orders_of_magnitude_accuracy_machinery() {
@@ -121,6 +125,84 @@ fn figure6_shape_posit_always_wins_gap_narrows() {
         "posit wins everywhere: {series:?}"
     );
     assert!(series[3] < series[0], "gap narrows with H: {series:?}");
+}
+
+// ---------------------------------------------------------------------
+// Golden-value regression snapshots (quick scale).
+//
+// These strings were captured from the current implementation and are
+// deterministic by construction: seeded corpora, and the parallel
+// runtime guarantees bitwise-identical reports for every thread count
+// (see tests/parallel_determinism.rs). If one of these fails after a
+// refactor, the refactor changed a reported number — that must be a
+// deliberate, documented decision, never a silent drift.
+// ---------------------------------------------------------------------
+
+#[test]
+fn golden_fig01_quick_scale_trace() {
+    let r = experiments::figure1_report(Scale::Quick, &Runtime::from_env());
+    // Exact decay-rate summary of the HCG-like model at T=500.
+    assert!(
+        r.contains("decay rate: 5.82 bits/site"),
+        "fig01 decay rate drifted:\n{r}"
+    );
+    // Anchor points of the exponent series: start, the binary64
+    // crossing, and the final recorded iteration.
+    for row in [
+        "0            -6",
+        "200          -1168              <- below binary64's smallest positive (2^-1074)",
+        "480          -2794",
+    ] {
+        assert!(r.contains(row), "fig01 trace row drifted: {row:?}\n{r}");
+    }
+}
+
+#[test]
+fn golden_fig09_quick_scale_summary() {
+    let r = experiments::figure9_report(Scale::Quick, &Runtime::from_env());
+    // The range-failure tallies across the 40-column quick corpus.
+    for line in [
+        "binary64: 5 underflows, 0 results with relative error >= 1",
+        "Log: 0 underflows, 0 results with relative error >= 1",
+        "posit(64,9): 0 underflows, 0 results with relative error >= 1",
+        "posit(64,12): 0 underflows, 0 results with relative error >= 1",
+        "posit(64,18): 0 underflows, 0 results with relative error >= 1",
+    ] {
+        assert!(r.contains(line), "fig09 tally drifted: {line:?}\n{r}");
+    }
+    // One full box-statistics row per regime: beyond binary64's range
+    // (posit(64,12) at its accuracy peak) and the shallow bucket.
+    for row in [
+        "[-16000, -4096)       binary64      -       -       -       5   0              5",
+        "[-16000, -4096)       posit(64,12)  -14.39  -14.26  -14.25  5   0              0",
+        "[-200, 1)             binary64      -15.85  -15.72  -15.47  26  0              0",
+        "[-200, 1)             Log           -14.62  -14.21  -13.99  26  0              0",
+    ] {
+        assert!(r.contains(row), "fig09 bucket row drifted: {row:?}\n{r}");
+    }
+}
+
+#[test]
+fn golden_table2_arithmetic_unit_catalog() {
+    // Table II is the model's calibration backbone: every cell pinned.
+    let want = "\
+Arithmetic Unit         LUT   Register  DSP  Cycles  Fmax (MHz)
+---------------------------------------------------------------
+binary64 add            679   587       0    6       480
+Log add (binary64 LSE)  5076  5287      34   64      346
+posit(64,12) add        1064  1005      0    8       354
+posit(64,18) add        1012  974       0    8       358
+binary64 mul            213   484       6    8       480
+Log mul (binary64 add)  679   587       0    6       480
+posit(64,12) mul        618   1004      9    12      336
+posit(64,18) mul        558   969       10   12      336
+";
+    let got = experiments::table2_report();
+    assert!(
+        got.starts_with(want),
+        "Table II drifted.\nwant prefix:\n{want}\ngot:\n{got}"
+    );
+    assert!(got.contains("10x slower, ~8x LUTs/FFs"));
 }
 
 #[test]
