@@ -1,18 +1,7 @@
 //! Ablations: ES sweep, LSE variants, rescaling baseline.
-use compstat_bench::{experiments, print_report, Scale};
-
+//! Resolved through the unified experiment registry.
 fn main() {
-    let scale = Scale::from_env();
-    print_report(
-        "Ablation: posit ES sweep",
-        &experiments::ablation_es_sweep(scale),
-    );
-    print_report(
-        "Ablation: LSE variants",
-        &experiments::ablation_lse_variants(scale),
-    );
-    print_report(
-        "Ablation: rescaling vs log vs posit forward",
-        &experiments::ablation_scaled_forward(scale),
-    );
+    compstat_bench::run_and_print("ablation-es");
+    compstat_bench::run_and_print("ablation-lse");
+    compstat_bench::run_and_print("ablation-scaled");
 }

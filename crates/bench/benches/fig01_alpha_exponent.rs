@@ -1,10 +1,5 @@
 //! Figure 1: exponent of alpha over forward iterations.
-use compstat_bench::{experiments, print_report, Scale};
-use compstat_runtime::Runtime;
-
+//! Resolved through the unified experiment registry.
 fn main() {
-    print_report(
-        "Figure 1: base-2 exponent of alpha over iterations (HCG-like model)",
-        &experiments::figure1_report(Scale::from_env(), &Runtime::from_env()),
-    );
+    compstat_bench::run_and_print("fig01");
 }

@@ -1,10 +1,5 @@
-//! Figure 3: individual operation accuracy by result magnitude.
-use compstat_bench::{experiments, print_report, Scale};
-use compstat_runtime::Runtime;
-
+//! Figure 3: per-operation relative error by magnitude bucket.
+//! Resolved through the unified experiment registry.
 fn main() {
-    print_report(
-        "Figure 3: individual add/mul accuracy across magnitudes (box stats)",
-        &experiments::figure3_report(Scale::from_env(), &Runtime::from_env()),
-    );
+    compstat_bench::run_and_print("fig03");
 }

@@ -1,9 +1,5 @@
-//! Figure 4: PE structure and latency formulas.
-use compstat_bench::{experiments, print_report};
-
+//! Figure 4: PE stage structure and latency formulas.
+//! Resolved through the unified experiment registry.
 fn main() {
-    print_report(
-        "Figure 4: processing element stages and latency",
-        &experiments::figure4_report(),
-    );
+    compstat_bench::run_and_print("fig04");
 }

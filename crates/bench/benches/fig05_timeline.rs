@@ -1,9 +1,5 @@
-//! Figure 5: execution timeline.
-use compstat_bench::{experiments, print_report};
-
+//! Figure 5: forward-unit execution timeline.
+//! Resolved through the unified experiment registry.
 fn main() {
-    print_report(
-        "Figure 5: accelerator execution timeline (event simulator)",
-        &experiments::figure5_report(),
-    );
+    compstat_bench::run_and_print("fig05");
 }

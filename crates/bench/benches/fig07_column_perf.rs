@@ -1,9 +1,5 @@
-//! Figure 7: column-unit performance on D0..D7.
-use compstat_bench::{experiments, print_report};
-
+//! Figure 7: column-unit wall-clock time per dataset.
+//! Resolved through the unified experiment registry.
 fn main() {
-    print_report(
-        "Figure 7: column unit wall-clock on synthetic D0..D7",
-        &experiments::figure7_report(),
-    );
+    compstat_bench::run_and_print("fig07");
 }

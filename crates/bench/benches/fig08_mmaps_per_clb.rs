@@ -1,9 +1,5 @@
-//! Figure 8: performance per resource unit.
-use compstat_bench::{experiments, print_report};
-
+//! Figure 8: MMAPS per CLB per dataset.
+//! Resolved through the unified experiment registry.
 fn main() {
-    print_report(
-        "Figure 8: MMAPS per CLB unit (posit ~2x logarithm)",
-        &experiments::figure8_report(),
-    );
+    compstat_bench::run_and_print("fig08");
 }

@@ -1,10 +1,5 @@
 //! Figure 9: p-value accuracy by magnitude.
-use compstat_bench::{experiments, print_report, Scale};
-use compstat_runtime::Runtime;
-
+//! Resolved through the unified experiment registry.
 fn main() {
-    print_report(
-        "Figure 9: accuracy of final p-values by magnitude bucket",
-        &experiments::figure9_report(Scale::from_env(), &Runtime::from_env()),
-    );
+    compstat_bench::run_and_print("fig09");
 }

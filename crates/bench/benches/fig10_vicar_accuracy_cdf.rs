@@ -1,10 +1,5 @@
-//! Figure 10: VICAR likelihood accuracy CDFs.
-use compstat_bench::{experiments, print_report, Scale};
-use compstat_runtime::Runtime;
-
+//! Figure 10: VICAR likelihood error CDFs.
+//! Resolved through the unified experiment registry.
 fn main() {
-    print_report(
-        "Figure 10: overall accuracy of final VICAR likelihoods (CDFs)",
-        &experiments::figure10_report(Scale::from_env(), &Runtime::from_env()),
-    );
+    compstat_bench::run_and_print("fig10");
 }

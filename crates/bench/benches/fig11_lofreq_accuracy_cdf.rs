@@ -1,10 +1,5 @@
-//! Figure 11: LoFreq p-value accuracy CDFs.
-use compstat_bench::{experiments, print_report, Scale};
-use compstat_runtime::Runtime;
-
+//! Figure 11: LoFreq p-value error CDFs.
+//! Resolved through the unified experiment registry.
 fn main() {
-    print_report(
-        "Figure 11: overall accuracy of final LoFreq p-values (CDFs)",
-        &experiments::figure11_report(Scale::from_env(), &Runtime::from_env()),
-    );
+    compstat_bench::run_and_print("fig11");
 }

@@ -1,9 +1,5 @@
 //! Table I: dynamic range and precision of the number formats.
-use compstat_bench::{experiments, print_report};
-
+//! Resolved through the unified experiment registry.
 fn main() {
-    print_report(
-        "Table I: dynamic range and precision of number formats",
-        &experiments::table1_report(),
-    );
+    compstat_bench::run_and_print("tab01");
 }

@@ -1,9 +1,5 @@
 //! Table II: arithmetic unit catalog.
-use compstat_bench::{experiments, print_report};
-
+//! Resolved through the unified experiment registry.
 fn main() {
-    print_report(
-        "Table II: resource utilization of individual arithmetic units",
-        &experiments::table2_report(),
-    );
+    compstat_bench::run_and_print("tab02");
 }

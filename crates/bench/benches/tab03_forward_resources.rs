@@ -1,9 +1,5 @@
-//! Table III: forward-unit resources.
-use compstat_bench::{experiments, print_report};
-
+//! Table III: forward-unit resources, model vs paper.
+//! Resolved through the unified experiment registry.
 fn main() {
-    print_report(
-        "Table III: resource use of forward algorithm units (model vs paper)",
-        &experiments::table3_report(),
-    );
+    compstat_bench::run_and_print("tab03");
 }

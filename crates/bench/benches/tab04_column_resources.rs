@@ -1,9 +1,5 @@
-//! Table IV: column-unit resources + SLR packing.
-use compstat_bench::{experiments, print_report};
-
+//! Table IV: column-unit resources, model vs paper.
+//! Resolved through the unified experiment registry.
 fn main() {
-    print_report(
-        "Table IV: resource use of column units (model vs paper)",
-        &experiments::table4_report(),
-    );
+    compstat_bench::run_and_print("tab04");
 }

@@ -12,6 +12,7 @@ use crate::Scale;
 use compstat_bigfloat::Context;
 use compstat_core::accuracy::{bucketed_accuracy, ExponentBucket, OpKind};
 use compstat_core::error::measure;
+use compstat_core::report::Report;
 use compstat_core::report::{fmt_f64, Table};
 use compstat_core::sample::{sample_additions, sample_multiplications};
 use compstat_core::{Cdf, StatFloat};
@@ -153,6 +154,43 @@ pub fn ablation_scaled_forward(scale: Scale) -> String {
         med(&scaled_e),
         med(&posit_e),
     )
+}
+
+/// Registry name of the ES-sweep ablation.
+pub const NAME_ES: &str = "ablation-es";
+/// Registry title of the ES-sweep ablation.
+pub const TITLE_ES: &str = "Ablation: posit ES sweep";
+/// Registry name of the LSE-variants ablation.
+pub const NAME_LSE: &str = "ablation-lse";
+/// Registry title of the LSE-variants ablation.
+pub const TITLE_LSE: &str = "Ablation: LSE variants";
+/// Registry name of the rescaling-baseline ablation.
+pub const NAME_SCALED: &str = "ablation-scaled";
+/// Registry title of the rescaling-baseline ablation.
+pub const TITLE_SCALED: &str = "Ablation: rescaling vs log vs posit forward";
+
+/// [`ablation_es_sweep`] as a structured report.
+#[must_use]
+pub fn es_report(scale: Scale) -> Report {
+    let mut r = Report::new(NAME_ES, TITLE_ES, scale);
+    r.text(ablation_es_sweep(scale));
+    r
+}
+
+/// [`ablation_lse_variants`] as a structured report.
+#[must_use]
+pub fn lse_report(scale: Scale) -> Report {
+    let mut r = Report::new(NAME_LSE, TITLE_LSE, scale);
+    r.text(ablation_lse_variants(scale));
+    r
+}
+
+/// [`ablation_scaled_forward`] as a structured report.
+#[must_use]
+pub fn scaled_report(scale: Scale) -> Report {
+    let mut r = Report::new(NAME_SCALED, TITLE_SCALED, scale);
+    r.text(ablation_scaled_forward(scale));
+    r
 }
 
 #[cfg(test)]

@@ -3,21 +3,27 @@
 
 use crate::Scale;
 use compstat_bigfloat::Context;
-use compstat_core::report::Table;
+use compstat_core::report::{Report, Table};
 use compstat_hmm::{forward_trace_rt, hcg_like, uniform_observations};
 use compstat_runtime::Runtime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Runs the trace and renders the (t, exponent) series. The paper's
-/// figure spans 5,000 iterations dropping to about -30,000, with the
-/// binary64 floor (-1,074) crossed within the first few hundred sites.
+/// Registry name of this experiment.
+pub const NAME: &str = "fig01";
+/// Registry title of this experiment.
+pub const TITLE: &str = "Figure 1: base-2 exponent of alpha over iterations (HCG-like model)";
+
+/// Runs the trace and builds the (t, exponent) series report. The
+/// paper's figure spans 5,000 iterations dropping to about -30,000,
+/// with the binary64 floor (-1,074) crossed within the first few
+/// hundred sites.
 ///
 /// The recurrence is sequential; the per-snapshot exact exponent
 /// extraction runs through `rt` (bitwise-identical for any thread
 /// count).
 #[must_use]
-pub fn figure1_report(scale: Scale, rt: &Runtime) -> String {
+pub fn report(scale: Scale, rt: &Runtime) -> Report {
     let t_len = scale.pick(500, 5_000, 5_000);
     let stride = (t_len / 25).max(1);
     let mut rng = StdRng::seed_from_u64(1);
@@ -43,10 +49,26 @@ pub fn figure1_report(scale: Scale, rt: &Runtime) -> String {
     }
     let last = trace.last().expect("nonempty trace");
     let per_site = -(last.exponent as f64) / last.t.max(1) as f64;
-    format!(
-        "{}\ndecay rate: {per_site:.2} bits/site (paper's HCG data: ~5.8, reaching 2^-2.9M at T=500k)\n",
-        table.render()
-    )
+
+    let mut r = Report::new(NAME, TITLE, scale)
+        .param("t_len", t_len)
+        .param("stride", stride)
+        .param("states", 4)
+        .param("seed", 1);
+    r.metric("decay_bits_per_site", per_site);
+    r.metric("final_exponent", last.exponent as f64);
+    r.table(table);
+    r.text(format!(
+        "\ndecay rate: {per_site:.2} bits/site (paper's HCG data: ~5.8, reaching 2^-2.9M at T=500k)\n"
+    ));
+    r
+}
+
+/// [`report`] rendered as text (the pre-engine report surface, pinned
+/// by the golden tests).
+#[must_use]
+pub fn figure1_report(scale: Scale, rt: &Runtime) -> String {
+    report(scale, rt).render_text()
 }
 
 #[cfg(test)]

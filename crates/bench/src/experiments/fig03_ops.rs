@@ -4,7 +4,7 @@
 use crate::Scale;
 use compstat_bigfloat::Context;
 use compstat_core::accuracy::{bucketed_accuracy, figure3_buckets, BucketAccuracy, OpKind};
-use compstat_core::report::{fmt_f64, Table};
+use compstat_core::report::{fmt_f64, Report, Table};
 use compstat_core::sample::{sample_additions, sample_multiplications, SampledOp};
 use compstat_logspace::LogF64;
 use compstat_posit::{P64E12, P64E18, P64E9};
@@ -59,12 +59,17 @@ fn run_format(
     }
 }
 
-/// Runs the full Figure 3 experiment (both panels) and renders box
+/// Registry name of this experiment.
+pub const NAME: &str = "fig03";
+/// Registry title of this experiment.
+pub const TITLE: &str = "Figure 3: relative error of individual operations by magnitude bucket";
+
+/// Runs the full Figure 3 experiment (both panels) and builds box
 /// statistics per bucket per format. The per-format sweeps (the
 /// oracle-measured error of every sampled op) run through `rt`;
 /// reports are bitwise-identical for every thread count.
 #[must_use]
-pub fn figure3_report(scale: Scale, rt: &Runtime) -> String {
+pub fn report(scale: Scale, rt: &Runtime) -> Report {
     // Paper: 1,000,000 adds and 550,000 multiplies.
     let n_add = scale.pick(1_500, 24_000, 1_000_000);
     let n_mul = scale.pick(1_000, 16_000, 550_000);
@@ -73,14 +78,32 @@ pub fn figure3_report(scale: Scale, rt: &Runtime) -> String {
     let adds = sample_additions(&mut rng, n_add, -10_050, 0, 60, &ctx);
     let muls = sample_multiplications(&mut rng, n_mul, -10_050, 0, &ctx);
 
-    let mut out = String::new();
-    out.push_str(&panel("(a) Addition", OpKind::Add, &adds, &ctx, rt));
-    out.push('\n');
-    out.push_str(&panel("(b) Multiplication", OpKind::Mul, &muls, &ctx, rt));
-    out
+    let mut r = Report::new(NAME, TITLE, scale)
+        .param("n_add", n_add)
+        .param("n_mul", n_mul)
+        .param("seed", 3);
+    r.metric("n_add", n_add as f64);
+    r.metric("n_mul", n_mul as f64);
+    panel(&mut r, "(a) Addition", OpKind::Add, &adds, &ctx, rt);
+    r.text("\n");
+    panel(&mut r, "(b) Multiplication", OpKind::Mul, &muls, &ctx, rt);
+    r
 }
 
-fn panel(title: &str, op: OpKind, corpus: &[SampledOp], ctx: &Context, rt: &Runtime) -> String {
+/// [`report`] rendered as text (the pre-engine report surface).
+#[must_use]
+pub fn figure3_report(scale: Scale, rt: &Runtime) -> String {
+    report(scale, rt).render_text()
+}
+
+fn panel(
+    r: &mut Report,
+    title: &str,
+    op: OpKind,
+    corpus: &[SampledOp],
+    ctx: &Context,
+    rt: &Runtime,
+) {
     let buckets = figure3_buckets();
     let results: Vec<(&str, Vec<BucketAccuracy>)> =
         rt.par_map(&FMTS, |fmt| run_format(*fmt, op, corpus, ctx));
@@ -140,10 +163,10 @@ fn panel(title: &str, op: OpKind, corpus: &[SampledOp], ctx: &Context, rt: &Runt
             }
         }
     }
-    format!(
-        "{title} — log10(relative error), five-number summaries\n{}",
-        t.render()
-    )
+    r.text(format!(
+        "{title} — log10(relative error), five-number summaries\n"
+    ));
+    r.table(t);
 }
 
 /// Extracts median log10 errors per (format, bucket) for assertions.

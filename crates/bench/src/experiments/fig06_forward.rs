@@ -4,7 +4,7 @@
 //! parallel speedup without changing a single result bit.
 
 use crate::Scale;
-use compstat_core::report::{fmt_f64, Table};
+use compstat_core::report::{fmt_f64, Report, Table};
 use compstat_fpga::{Design, ForwardUnit};
 use compstat_hmm::{dirichlet_hmm, forward_batch, uniform_observations};
 use compstat_posit::P64E18;
@@ -20,9 +20,45 @@ const PAPER: [(u64, f64, f64); 4] = [
     (128, 0.55, 0.66),
 ];
 
-/// Renders Figure 6(a) (seconds) and 6(b) (relative improvement).
+/// Registry name of this experiment.
+pub const NAME: &str = "fig06";
+/// Registry title of this experiment.
+pub const TITLE: &str = "Figure 6: forward algorithm unit wall-clock (model vs paper)";
+
+/// The unified-engine report: the Figure 6(a)/(b) model table at the
+/// paper's T = 500,000, plus a digest of the *software* forward sweep
+/// computed through `rt` — the likelihood bit patterns themselves, not
+/// wall-clock, so the report stays byte-identical for every thread
+/// count (timing lives in the `fig06_forward_perf` bench target).
 #[must_use]
-pub fn figure6_report(t_sites: u64) -> String {
+pub fn report(scale: Scale, rt: &Runtime) -> Report {
+    let t_sites = 500_000u64;
+    let (n_seqs, t_len, h) = sweep_dims(scale);
+    let mut r = Report::new(NAME, TITLE, scale)
+        .param("t_sites", t_sites)
+        .param("sweep_sequences", n_seqs)
+        .param("sweep_sites", t_len)
+        .param("sweep_states", h);
+    r.text(format!("T = {t_sites} observation sites, 300 MHz\n"));
+    r.table(model_table(t_sites));
+
+    let likelihoods = figure6_sweep_likelihoods(scale, rt);
+    let exps: Vec<i64> = likelihoods.iter().filter_map(|p| p.scale()).collect();
+    let lo = exps.iter().min().copied().unwrap_or(0);
+    let hi = exps.iter().max().copied().unwrap_or(0);
+    r.metric("sweep_likelihoods", likelihoods.len() as f64);
+    r.metric("sweep_min_exponent", lo as f64);
+    r.metric("sweep_max_exponent", hi as f64);
+    r.text(format!(
+        "\nsoftware forward sweep digest: {n_seqs} sequences x {t_len} sites, H = {h}, \
+         posit(64,18)\nlikelihood exponents span [{lo}, {hi}]; \
+         all nonzero: {}\n",
+        likelihoods.iter().all(|p| !p.is_zero()),
+    ));
+    r
+}
+
+fn model_table(t_sites: u64) -> Table {
     let mut t = Table::new(vec![
         "H".into(),
         "posit s (model)".into(),
@@ -45,7 +81,16 @@ pub fn figure6_report(t_sites: u64) -> String {
             format!("{:.1}%", (paper_l - paper_p) / paper_l * 100.0),
         ]);
     }
-    format!("T = {t_sites} observation sites, 300 MHz\n{}", t.render())
+    t
+}
+
+/// Renders Figure 6(a) (seconds) and 6(b) (relative improvement).
+#[must_use]
+pub fn figure6_report(t_sites: u64) -> String {
+    format!(
+        "T = {t_sites} observation sites, 300 MHz\n{}",
+        model_table(t_sites).render()
+    )
 }
 
 /// Workload of the software forward sweep at a given scale:

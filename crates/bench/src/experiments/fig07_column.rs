@@ -1,18 +1,29 @@
 //! Figures 7 and 8: column-unit wall-clock times on the eight synthetic
 //! SARS-CoV-2-style datasets, and MMAPS per CLB.
 
-use compstat_core::report::{fmt_f64, Table};
+use compstat_core::report::{fmt_f64, Report, Table};
+use compstat_core::Scale;
 use compstat_fpga::{perf_per_resource, ColumnUnit, Design};
 use compstat_pbd::perf_datasets;
+
+/// Registry name of the Figure 7 experiment.
+pub const NAME_FIG7: &str = "fig07";
+/// Registry title of the Figure 7 experiment.
+pub const TITLE_FIG7: &str = "Figure 7: column-unit wall-clock time per dataset";
+/// Registry name of the Figure 8 experiment.
+pub const NAME_FIG8: &str = "fig08";
+/// Registry title of the Figure 8 experiment.
+pub const TITLE_FIG8: &str = "Figure 8: MMAPS per CLB per dataset";
 
 fn dims(ds: &compstat_pbd::DatasetSpec) -> Vec<(u64, u64)> {
     ds.columns.iter().map(|c| (c.n, c.k)).collect()
 }
 
-/// Figure 7: wall-clock execution time per dataset, posit vs log, and
-/// the relative improvement.
+/// Figure 7 report: wall-clock execution time per dataset, posit vs
+/// log, and the relative improvement. The analytic model has no
+/// scale-dependent sampling; `scale` is recorded for provenance only.
 #[must_use]
-pub fn figure7_report() -> String {
+pub fn fig7_report(scale: Scale) -> Report {
     let posit = ColumnUnit::new(Design::Posit64Es12, 8);
     let log = ColumnUnit::new(Design::LogSpace, 8);
     let mut t = Table::new(vec![
@@ -23,10 +34,12 @@ pub fn figure7_report() -> String {
         "log s".into(),
         "improvement".into(),
     ]);
+    let mut best = 0.0f64;
     for ds in perf_datasets() {
         let cols = dims(&ds);
         let p = posit.dataset_seconds(&cols);
         let l = log.dataset_seconds(&cols);
+        best = best.max((l - p) / l);
         t.row(vec![
             ds.name.clone(),
             ds.num_columns().to_string(),
@@ -36,15 +49,24 @@ pub fn figure7_report() -> String {
             format!("{:.1}%", (l - p) / l * 100.0),
         ]);
     }
-    format!(
-        "8 PEs per unit, 300 MHz (paper posit times span ~2,269..24,010 s; improvements 5-25%)\n{}",
-        t.render()
-    )
+    let mut r = Report::new(NAME_FIG7, TITLE_FIG7, scale).param("pes_per_unit", 8);
+    r.metric("best_improvement_fraction", best);
+    r.text(
+        "8 PEs per unit, 300 MHz (paper posit times span ~2,269..24,010 s; improvements 5-25%)\n",
+    );
+    r.table(t);
+    r
 }
 
-/// Figure 8: MMAPS per CLB unit per dataset.
+/// [`fig7_report`] rendered as text (the pre-engine report surface).
 #[must_use]
-pub fn figure8_report() -> String {
+pub fn figure7_report() -> String {
+    fig7_report(Scale::Default).render_text()
+}
+
+/// Figure 8 report: MMAPS per CLB unit per dataset.
+#[must_use]
+pub fn fig8_report(scale: Scale) -> Report {
     let posit = ColumnUnit::new(Design::Posit64Es12, 8);
     let log = ColumnUnit::new(Design::LogSpace, 8);
     let mut t = Table::new(vec![
@@ -54,10 +76,12 @@ pub fn figure8_report() -> String {
         "log MMAPS/CLB".into(),
         "ratio".into(),
     ]);
+    let mut worst_ratio = f64::INFINITY;
     for ds in perf_datasets() {
         let cols = dims(&ds);
         let p = perf_per_resource(&posit, &cols);
         let l = perf_per_resource(&log, &cols);
+        worst_ratio = worst_ratio.min(p.mmaps_per_clb / l.mmaps_per_clb);
         t.row(vec![
             ds.name.clone(),
             format!("{:.2e}", p.total_ops as f64),
@@ -66,10 +90,17 @@ pub fn figure8_report() -> String {
             format!("{:.2}x", p.mmaps_per_clb / l.mmaps_per_clb),
         ]);
     }
-    format!(
-        "paper: posit sustains ~2x MMAPS per CLB on all datasets\n{}",
-        t.render()
-    )
+    let mut r = Report::new(NAME_FIG8, TITLE_FIG8, scale).param("pes_per_unit", 8);
+    r.metric("worst_mmaps_per_clb_ratio", worst_ratio);
+    r.text("paper: posit sustains ~2x MMAPS per CLB on all datasets\n");
+    r.table(t);
+    r
+}
+
+/// [`fig8_report`] rendered as text (the pre-engine report surface).
+#[must_use]
+pub fn figure8_report() -> String {
+    fig8_report(Scale::Default).render_text()
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 use crate::Scale;
 use compstat_bigfloat::{BigFloat, Context};
 use compstat_core::accuracy::figure9_buckets;
-use compstat_core::report::{fmt_f64, Table};
+use compstat_core::report::{fmt_f64, Report, Table};
 use compstat_core::{BoxStats, ErrorClass, ErrorMeasurement, StatFloat};
 use compstat_logspace::LogF64;
 use compstat_pbd::{accuracy_corpus, Column};
@@ -68,12 +68,17 @@ pub fn corpus_for(scale: Scale) -> Vec<Column> {
     accuracy_corpus(20_260_610, count)
 }
 
-/// Renders Figure 9: per-bucket box statistics of log10 relative error.
+/// Registry name of this experiment.
+pub const NAME: &str = "fig09";
+/// Registry title of this experiment.
+pub const TITLE: &str = "Figure 9: accuracy of final p-values by magnitude bucket";
+
+/// Builds Figure 9: per-bucket box statistics of log10 relative error.
 /// As in the paper, measurements with relative error >= 1 (saturation
 /// blow-ups) are *excluded* from the boxes and reported as counts, which
 /// is why posit(64,9) vanishes from the deepest buckets.
 #[must_use]
-pub fn figure9_report(scale: Scale, rt: &Runtime) -> String {
+pub fn report(scale: Scale, rt: &Runtime) -> Report {
     let ctx = Context::new(256);
     let corpus = corpus_for(scale);
     let evals = evaluate_corpus(&corpus, &ctx, rt);
@@ -138,6 +143,7 @@ pub fn figure9_report(scale: Scale, rt: &Runtime) -> String {
 
     // Range-failure tallies (the paper's underflow counts: posit(64,9)
     // 132, posit(64,12) 2 of 222,131; ours scale with corpus size).
+    let mut r = Report::new(NAME, TITLE, scale).param("columns", corpus.len());
     let mut tallies = String::new();
     for (fi, fname) in FORMATS.iter().enumerate() {
         let under = evals
@@ -150,11 +156,23 @@ pub fn figure9_report(scale: Scale, rt: &Runtime) -> String {
                 e.errors[fi].1.class == ErrorClass::Normal && e.errors[fi].1.log10_rel >= 0.0
             })
             .count();
+        if fi == 0 {
+            r.metric("binary64_underflows", under as f64);
+        }
         tallies.push_str(&format!(
             "{fname}: {under} underflows, {blown} results with relative error >= 1\n"
         ));
     }
-    format!("{}\n{}", t.render(), tallies)
+    r.table(t);
+    r.text(format!("\n{tallies}"));
+    r
+}
+
+/// [`report`] rendered as text (the pre-engine report surface, pinned
+/// by the golden tests).
+#[must_use]
+pub fn figure9_report(scale: Scale, rt: &Runtime) -> String {
+    report(scale, rt).render_text()
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 use crate::Scale;
 use compstat_bigfloat::Context;
 use compstat_core::error::measure;
-use compstat_core::report::{fmt_f64, Table};
+use compstat_core::report::{fmt_f64, Report, Table};
 use compstat_core::Cdf;
 use compstat_hmm::{dirichlet_hmm, forward, forward_log, forward_oracle, uniform_observations};
 use compstat_posit::P64E18;
@@ -61,10 +61,15 @@ pub fn vicar_errors(t_len: usize, models: usize, h: usize, seed: u64, rt: &Runti
     }
 }
 
-/// Renders the two CDFs (Figure 10a/10b) plus the paper's headline
+/// Registry name of this experiment.
+pub const NAME: &str = "fig10";
+/// Registry title of this experiment.
+pub const TITLE: &str = "Figure 10: CDFs of VICAR likelihood relative error (Log vs posit)";
+
+/// Builds the two CDFs (Figure 10a/10b) plus the paper's headline
 /// statistic (fraction of results with relative error < 1e-8).
 #[must_use]
-pub fn figure10_report(scale: Scale, rt: &Runtime) -> String {
+pub fn report(scale: Scale, rt: &Runtime) -> Report {
     // Stand-ins for the paper's T = 100,000 and 500,000.
     let (t1, t2) = match scale {
         Scale::Quick => (1_500, 4_000),
@@ -74,8 +79,15 @@ pub fn figure10_report(scale: Scale, rt: &Runtime) -> String {
     let models = scale.pick(4, 10, 128);
     let h = scale.pick(4, 8, 13);
 
-    let mut out = String::new();
-    for (panel, t_len) in [("(a)", t1), ("(b)", t2)] {
+    let mut r = Report::new(NAME, TITLE, scale)
+        .param("t_short", t1)
+        .param("t_long", t2)
+        .param("models", models)
+        .param("states", h);
+    for (panel, t_len, med_key) in [
+        ("(a)", t1, "median_gap_decades_short"),
+        ("(b)", t2, "median_gap_decades_long"),
+    ] {
         let e = vicar_errors(t_len, models, h, 0xF16_0000 + t_len as u64, rt);
         let log_cdf = Cdf::new(&e.log_errors);
         let posit_cdf = Cdf::new(&e.posit_errors);
@@ -91,17 +103,27 @@ pub fn figure10_report(scale: Scale, rt: &Runtime) -> String {
                 fmt_f64(posit_cdf.fraction_at_most(x), 3),
             ]);
         }
-        out.push_str(&format!(
-            "{panel} T = {t_len}, H = {h}, {models} (A,B) models\n{}\nmedians: Log {:.2}, posit(64,18) {:.2}; \
+        r.metric(med_key, log_cdf.quantile(0.5) - posit_cdf.quantile(0.5));
+        r.text(format!(
+            "{panel} T = {t_len}, H = {h}, {models} (A,B) models\n"
+        ));
+        r.table(table);
+        r.text(format!(
+            "\nmedians: Log {:.2}, posit(64,18) {:.2}; \
              rel err < 1e-8: Log {:.1}%, posit {:.1}% (paper at T=500k: 2.4% vs 100%)\n\n",
-            table.render(),
             log_cdf.quantile(0.5),
             posit_cdf.quantile(0.5),
             log_cdf.fraction_at_most(-8.0) * 100.0,
             posit_cdf.fraction_at_most(-8.0) * 100.0,
         ));
     }
-    out
+    r
+}
+
+/// [`report`] rendered as text (the pre-engine report surface).
+#[must_use]
+pub fn figure10_report(scale: Scale, rt: &Runtime) -> String {
+    report(scale, rt).render_text()
 }
 
 #[cfg(test)]

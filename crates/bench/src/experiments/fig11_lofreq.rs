@@ -4,22 +4,28 @@
 use crate::experiments::fig09_pvalues::{corpus_for, evaluate_corpus, FORMATS};
 use crate::Scale;
 use compstat_bigfloat::Context;
-use compstat_core::report::{fmt_f64, Table};
+use compstat_core::report::{fmt_f64, Report, Table};
 use compstat_core::{Cdf, ErrorClass};
 use compstat_pbd::CRITICAL_EXP;
 use compstat_runtime::Runtime;
 
-/// Renders both panels: CDF points per format for critical and
+/// Registry name of this experiment.
+pub const NAME: &str = "fig11";
+/// Registry title of this experiment.
+pub const TITLE: &str =
+    "Figure 11: CDFs of LoFreq p-value relative error (critical vs non-critical)";
+
+/// Builds both panels: CDF points per format for critical and
 /// non-critical columns. The corpus evaluation (oracle plus per-format
 /// errors) runs through `rt`; the report is bitwise-identical for
 /// every thread count.
 #[must_use]
-pub fn figure11_report(scale: Scale, rt: &Runtime) -> String {
+pub fn report(scale: Scale, rt: &Runtime) -> Report {
     let ctx = Context::new(256);
     let corpus = corpus_for(scale);
     let evals = evaluate_corpus(&corpus, &ctx, rt);
 
-    let mut out = String::new();
+    let mut r = Report::new(NAME, TITLE, scale).param("columns", corpus.len());
     for (panel, critical) in [
         ("(a) p-values < 2^-200 (critical)", true),
         ("(b) p-values >= 2^-200", false),
@@ -58,16 +64,35 @@ pub fn figure11_report(scale: Scale, rt: &Runtime) -> String {
             t.row(row);
         }
         let n = cdfs.iter().map(Cdf::len).max().unwrap_or(0);
-        out.push_str(&format!("{panel} — {n} columns\n{}\n", t.render()));
-        if critical && !cdfs[3].is_empty() && !cdfs[1].is_empty() {
-            out.push_str(&format!(
-                "rel err < 1e-10: posit(64,12) {:.1}%, Log {:.1}% (paper: 99% vs 60%)\n\n",
-                cdfs[3].fraction_at_most(-10.0) * 100.0,
-                cdfs[1].fraction_at_most(-10.0) * 100.0
-            ));
+        r.text(format!("{panel} — {n} columns\n"));
+        r.table(t);
+        r.text("\n");
+        if critical {
+            r.metric("critical_columns", n as f64);
+            if !cdfs[3].is_empty() && !cdfs[1].is_empty() {
+                r.metric(
+                    "critical_posit12_below_1e10_pct",
+                    cdfs[3].fraction_at_most(-10.0) * 100.0,
+                );
+                r.metric(
+                    "critical_log_below_1e10_pct",
+                    cdfs[1].fraction_at_most(-10.0) * 100.0,
+                );
+                r.text(format!(
+                    "rel err < 1e-10: posit(64,12) {:.1}%, Log {:.1}% (paper: 99% vs 60%)\n\n",
+                    cdfs[3].fraction_at_most(-10.0) * 100.0,
+                    cdfs[1].fraction_at_most(-10.0) * 100.0
+                ));
+            }
         }
     }
-    out
+    r
+}
+
+/// [`report`] rendered as text (the pre-engine report surface).
+#[must_use]
+pub fn figure11_report(scale: Scale, rt: &Runtime) -> String {
+    report(scale, rt).render_text()
 }
 
 #[cfg(test)]

@@ -1,4 +1,8 @@
 //! One module per table/figure of the paper, plus ablations.
+//!
+//! Each module exposes a structured `report(...) -> Report` builder
+//! (wired into [`crate::registry`]) plus the legacy `figureN_report`
+//! string functions, which render the same report as text.
 
 pub mod ablations;
 pub mod fig01_alpha;

@@ -2,7 +2,8 @@
 //! (arithmetic units), Figure 4 (PE latency), Figure 5 (timeline),
 //! Tables III/IV (accelerator resources, model vs paper).
 
-use compstat_core::report::{fmt_reduction, Table};
+use compstat_core::report::{fmt_reduction, Report, Table};
+use compstat_core::Scale;
 use compstat_fpga::{
     column_pe, column_unit_resources, forward_pe, forward_unit_resources, paper_column_rows,
     paper_forward_rows, render_timeline, simulate_forward, table2_units, units_per_slr, ColumnUnit,
@@ -10,9 +11,34 @@ use compstat_fpga::{
 };
 use compstat_posit::FormatInfo;
 
-/// Table I: dynamic range and precision of the number formats.
+/// Registry name of the Table I experiment.
+pub const NAME_TAB1: &str = "tab01";
+/// Registry title of the Table I experiment.
+pub const TITLE_TAB1: &str = "Table I: dynamic range and precision of number formats";
+/// Registry name of the Table II experiment.
+pub const NAME_TAB2: &str = "tab02";
+/// Registry title of the Table II experiment.
+pub const TITLE_TAB2: &str = "Table II: resource utilization of individual arithmetic units";
+/// Registry name of the Figure 4 experiment.
+pub const NAME_FIG4: &str = "fig04";
+/// Registry title of the Figure 4 experiment.
+pub const TITLE_FIG4: &str = "Figure 4: PE stage structure and latency formulas";
+/// Registry name of the Figure 5 experiment.
+pub const NAME_FIG5: &str = "fig05";
+/// Registry title of the Figure 5 experiment.
+pub const TITLE_FIG5: &str = "Figure 5: forward-unit execution timeline";
+/// Registry name of the Table III experiment.
+pub const NAME_TAB3: &str = "tab03";
+/// Registry title of the Table III experiment.
+pub const TITLE_TAB3: &str = "Table III: forward-unit resources (model vs paper)";
+/// Registry name of the Table IV experiment.
+pub const NAME_TAB4: &str = "tab04";
+/// Registry title of the Table IV experiment.
+pub const TITLE_TAB4: &str = "Table IV: column-unit resources (model vs paper)";
+
+/// Table I report: dynamic range and precision of the number formats.
 #[must_use]
-pub fn table1_report() -> String {
+pub fn tab1_report(scale: Scale) -> Report {
     let mut t = Table::new(vec![
         "Format".into(),
         "useed".into(),
@@ -34,13 +60,21 @@ pub fn table1_report() -> String {
             info.max_fraction_bits().to_string(),
         ]);
     }
-    t.render()
+    let mut r = Report::new(NAME_TAB1, TITLE_TAB1, scale);
+    r.table(t);
+    r
 }
 
-/// Table II: per-unit resource/latency catalog (the model's calibration
-/// constants, printed alongside the software per-op cost measured here).
+/// [`tab1_report`] rendered as text (the pre-engine report surface).
 #[must_use]
-pub fn table2_report() -> String {
+pub fn table1_report() -> String {
+    tab1_report(Scale::Default).render_text()
+}
+
+/// Table II report: per-unit resource/latency catalog (the model's
+/// calibration constants).
+#[must_use]
+pub fn tab2_report(scale: Scale) -> Report {
     let mut t = Table::new(vec![
         "Arithmetic Unit".into(),
         "LUT".into(),
@@ -59,19 +93,29 @@ pub fn table2_report() -> String {
             u.fmax_mhz.to_string(),
         ]);
     }
-    let mut out = t.render();
-    out.push_str("\nkey ratios: LSE/binary64-add latency = ");
-    out.push_str(&format!(
-        "{:.1}x, LUT = {:.1}x (the paper's '10x slower, ~8x LUTs/FFs')\n",
+    let mut r = Report::new(NAME_TAB2, TITLE_TAB2, scale);
+    r.metric("lse_latency_ratio", 64.0 / 6.0);
+    r.metric("lse_lut_ratio", 5_076.0 / 679.0);
+    r.table(t);
+    r.text(format!(
+        "\nkey ratios: LSE/binary64-add latency = {:.1}x, LUT = {:.1}x (the paper's '10x slower, ~8x LUTs/FFs')\n",
         64.0 / 6.0,
         5_076.0 / 679.0
     ));
-    out
+    r
 }
 
-/// Figure 4: PE stage structure and the latency formulas.
+/// [`tab2_report`] rendered as text (the pre-engine report surface,
+/// pinned cell-for-cell by the golden tests).
 #[must_use]
-pub fn figure4_report() -> String {
+pub fn table2_report() -> String {
+    tab2_report(Scale::Default).render_text()
+}
+
+/// Figure 4 report: PE stage structure and the latency formulas.
+#[must_use]
+pub fn fig4_report(scale: Scale) -> Report {
+    let mut r = Report::new(NAME_FIG4, TITLE_FIG4, scale);
     let mut out = String::new();
     for design in [Design::LogSpace, Design::Posit64Es18] {
         let pe = forward_pe(design, 64);
@@ -81,6 +125,7 @@ pub fn figure4_report() -> String {
         }
         out.push_str(&format!("  total: {} cycles\n\n", pe.latency()));
     }
+    r.text(out);
     let mut t = Table::new(vec![
         "H".into(),
         "log PE (62+9log2H)".into(),
@@ -97,35 +142,47 @@ pub fn figure4_report() -> String {
             (l - p).to_string(),
         ]);
     }
-    out.push_str(&t.render());
-    out.push_str(&format!(
+    r.table(t);
+    r.text(format!(
         "\ncolumn-unit PEs: log {} cycles, posit {} cycles (paper: 73 vs 30)\n",
         column_pe(Design::LogSpace).latency(),
         column_pe(Design::Posit64Es12).latency()
     ));
-    out
+    r
 }
 
-/// Figure 5: execution timeline trace from the event simulator.
+/// [`fig4_report`] rendered as text (the pre-engine report surface).
 #[must_use]
-pub fn figure5_report() -> String {
-    let mut out = String::new();
+pub fn figure4_report() -> String {
+    fig4_report(Scale::Default).render_text()
+}
+
+/// Figure 5 report: execution timeline trace from the event simulator.
+#[must_use]
+pub fn fig5_report(scale: Scale) -> Report {
+    let mut r = Report::new(NAME_FIG5, TITLE_FIG5, scale).param("sites", 6);
     for design in [Design::LogSpace, Design::Posit64Es18] {
         let unit = ForwardUnit::new(design, 13);
         let events = simulate_forward(&unit, 6);
-        out.push_str(&format!(
+        r.text(format!(
             "{} forward unit, H=13 (prefetch-bound: {}):\n{}\n",
             design.name(),
             unit.is_prefetch_bound(),
             render_timeline(&events, 6)
         ));
     }
-    out
+    r
 }
 
-/// Table III: forward-unit resources, model vs paper.
+/// [`fig5_report`] rendered as text (the pre-engine report surface).
 #[must_use]
-pub fn table3_report() -> String {
+pub fn figure5_report() -> String {
+    fig5_report(Scale::Default).render_text()
+}
+
+/// Table III report: forward-unit resources, model vs paper.
+#[must_use]
+pub fn tab3_report(scale: Scale) -> Report {
     let mut t = Table::new(vec![
         "Design".into(),
         "H".into(),
@@ -184,13 +241,21 @@ pub fn table3_report() -> String {
             "model".into(),
         ]);
     }
-    t.render()
+    let mut r = Report::new(NAME_TAB3, TITLE_TAB3, scale);
+    r.table(t);
+    r
 }
 
-/// Table IV: column-unit resources, model vs paper, plus the SLR packing
-/// claim of Section VI-C.
+/// [`tab3_report`] rendered as text (the pre-engine report surface).
 #[must_use]
-pub fn table4_report() -> String {
+pub fn table3_report() -> String {
+    tab3_report(Scale::Default).render_text()
+}
+
+/// Table IV report: column-unit resources, model vs paper, plus the SLR
+/// packing claim of Section VI-C.
+#[must_use]
+pub fn tab4_report(scale: Scale) -> Report {
     let mut t = Table::new(vec![
         "Design".into(),
         "PEs".into(),
@@ -239,13 +304,22 @@ pub fn table4_report() -> String {
         "-".into(),
         "model".into(),
     ]);
-    let mut out = t.render();
-    out.push_str(&format!(
-        "\nSLR packing (paper CLB counts): {} log-based vs {} posit-based column units per SLR\n",
-        units_per_slr(paper_column_rows()[0].resources.clb),
-        units_per_slr(paper_column_rows()[1].resources.clb),
+    let log_per_slr = units_per_slr(paper_column_rows()[0].resources.clb);
+    let posit_per_slr = units_per_slr(paper_column_rows()[1].resources.clb);
+    let mut r = Report::new(NAME_TAB4, TITLE_TAB4, scale);
+    r.metric("log_units_per_slr", log_per_slr as f64);
+    r.metric("posit_units_per_slr", posit_per_slr as f64);
+    r.table(t);
+    r.text(format!(
+        "\nSLR packing (paper CLB counts): {log_per_slr} log-based vs {posit_per_slr} posit-based column units per SLR\n"
     ));
-    out
+    r
+}
+
+/// [`tab4_report`] rendered as text (the pre-engine report surface).
+#[must_use]
+pub fn table4_report() -> String {
+    tab4_report(Scale::Default).render_text()
 }
 
 #[cfg(test)]

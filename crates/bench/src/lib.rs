@@ -1,9 +1,13 @@
 //! # compstat-bench
 //!
-//! The experiment harness: one function per table/figure of the paper,
-//! each returning a printable text report. The `benches/` targets are
-//! thin wrappers so `cargo bench` regenerates the entire evaluation;
-//! unit tests run every experiment at a reduced scale.
+//! The experiment harness behind the unified engine: one
+//! [`Experiment`](compstat_core::Experiment) implementation per
+//! table/figure of the paper (plus ablations), wired through
+//! [`registry`]. The `benches/` targets are thin wrappers that resolve
+//! their experiment by name and print its text rendering, so
+//! `cargo bench` regenerates the entire evaluation; the `compstat` CLI
+//! runs the same registry and emits JSON reports; unit tests run every
+//! experiment at a reduced scale.
 //!
 //! Workload sizes honor the `COMPSTAT_SCALE` environment variable:
 //! `quick` (CI smoke), `default`, or `full` (paper-scale sample counts
@@ -13,8 +17,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod registry;
 pub mod scale;
 
+pub use registry::{find, registry};
 pub use scale::Scale;
 
 /// Prints a report with a separating banner (used by bench targets).
@@ -23,4 +29,17 @@ pub fn print_report(title: &str, body: &str) {
     println!("{title}");
     println!("================================================================");
     println!("{body}");
+}
+
+/// Resolves `name` in the registry, runs it at the environment's scale
+/// and thread budget, and prints the text report — the whole body of
+/// every figure/table bench target.
+///
+/// # Panics
+///
+/// Panics if `name` is not registered.
+pub fn run_and_print(name: &str) {
+    let e = registry::find(name).unwrap_or_else(|| panic!("unknown experiment {name:?}"));
+    let report = e.run(&compstat_runtime::Runtime::from_env(), Scale::from_env());
+    print_report(e.title(), &report.render_text());
 }

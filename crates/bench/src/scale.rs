@@ -1,47 +1,7 @@
 //! Workload scaling for the experiment harness.
+//!
+//! [`Scale`] moved into `compstat-core` when the unified experiment
+//! engine landed (the [`compstat_core::Experiment`] trait needs it);
+//! this module re-exports it so `compstat_bench::Scale` keeps working.
 
-/// Experiment scale, selected via the `COMPSTAT_SCALE` environment
-/// variable (`quick` / `default` / `full`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Scale {
-    /// Tiny sizes for CI smoke tests (seconds for the whole suite).
-    Quick,
-    /// Sizes that keep each bench under about a minute.
-    Default,
-    /// Paper-scale sample counts where software emulation permits.
-    Full,
-}
-
-impl Scale {
-    /// Reads `COMPSTAT_SCALE` (defaults to [`Scale::Default`]).
-    #[must_use]
-    pub fn from_env() -> Scale {
-        match std::env::var("COMPSTAT_SCALE").as_deref() {
-            Ok("quick") => Scale::Quick,
-            Ok("full") => Scale::Full,
-            _ => Scale::Default,
-        }
-    }
-
-    /// Picks a size by scale.
-    #[must_use]
-    pub fn pick(&self, quick: usize, default: usize, full: usize) -> usize {
-        match self {
-            Scale::Quick => quick,
-            Scale::Default => default,
-            Scale::Full => full,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn pick_selects_by_scale() {
-        assert_eq!(Scale::Quick.pick(1, 2, 3), 1);
-        assert_eq!(Scale::Default.pick(1, 2, 3), 2);
-        assert_eq!(Scale::Full.pick(1, 2, 3), 3);
-    }
-}
+pub use compstat_core::scale::Scale;

@@ -83,6 +83,15 @@ impl Context {
         }
         acc
     }
+
+    /// Rounds `x` to the context precision (round to nearest, ties to
+    /// even) — MPFR's `mpfr_set` with a target precision. Idempotent:
+    /// a value already representable at `prec` bits passes unchanged,
+    /// so `ctx.round(&ctx.round(x)) == ctx.round(x)` always.
+    #[must_use]
+    pub fn round(&self, x: &BigFloat) -> BigFloat {
+        x.round_to(self.prec)
+    }
 }
 
 impl Default for Context {

@@ -148,6 +148,62 @@ proptest! {
         let b = BigFloat::from_f64(x);
         prop_assert_eq!(b.to_i64_round(), x.round_ties_even() as i64);
     }
+
+    #[test]
+    fn context_rounding_is_idempotent(x in finite_f64(), prec in 2u32..400) {
+        // Rounding is a projection: applying it twice changes nothing.
+        let c = Context::new(prec);
+        let once = c.round(&BigFloat::from_f64(x));
+        let twice = c.round(&once);
+        prop_assert!(twice == once, "round_to({prec}) not idempotent at {x}");
+    }
+
+    #[test]
+    fn f64_round_trip_is_exact_at_53_bits_or_more(x in finite_f64(), extra in 0u32..300) {
+        // Any context precision >= 53 bits holds every finite f64
+        // exactly: from_f64 -> round -> to_f64 is the identity.
+        let c = Context::new(53 + extra);
+        let rounded = c.round(&BigFloat::from_f64(x));
+        let expect = if x == 0.0 { 0.0 } else { x }; // -0.0 collapses
+        prop_assert_eq!(rounded.to_f64(), expect, "prec {}", 53 + extra);
+    }
+
+    #[test]
+    fn rounding_below_53_bits_only_drops_low_bits(x in finite_f64(), prec in 2u32..52) {
+        // Rounding to fewer bits moves the value by at most one ulp at
+        // that precision, and never changes the sign.
+        prop_assume!(x != 0.0);
+        let c = Context::new(prec);
+        let a = BigFloat::from_f64(x);
+        let r = c.round(&a);
+        if !r.is_zero() {
+            prop_assert_eq!(r.sign(), a.sign());
+            let err = (&r - &a).abs();
+            if !err.is_zero() {
+                // |r - x| <= 2^(exp(x) - prec) (one ulp, RNE gives half).
+                prop_assert!(
+                    err.exponent().unwrap() <= a.exponent().unwrap() - prec as i64,
+                    "rounding to {prec} bits moved {x} too far"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_commutes_at_every_precision(x in finite_f64(), y in finite_f64(), prec in 2u32..300) {
+        let c = Context::new(prec);
+        let a = BigFloat::from_f64(x);
+        let b = BigFloat::from_f64(y);
+        prop_assert!(c.add(&a, &b) == c.add(&b, &a), "add at prec {prec}");
+    }
+
+    #[test]
+    fn mul_commutes_at_every_precision(x in finite_f64(), y in finite_f64(), prec in 2u32..300) {
+        let c = Context::new(prec);
+        let a = BigFloat::from_f64(x);
+        let b = BigFloat::from_f64(y);
+        prop_assert!(c.mul(&a, &b) == c.mul(&b, &a), "mul at prec {prec}");
+    }
 }
 
 #[test]

@@ -1,0 +1,447 @@
+//! The `compstat` CLI: the unified experiment engine's front door.
+//!
+//! ```text
+//! compstat list
+//! compstat run <name>... | --all [--scale quick|default|paper]
+//!              [--threads N] [--out DIR]
+//! compstat validate <dir-or-file>...
+//! ```
+//!
+//! `run` resolves experiments in the `compstat-bench` registry and runs
+//! them at the requested scale on the requested thread budget. Without
+//! `--out` the text reports print to stdout (what the bench targets
+//! print); with `--out` one JSON document per experiment is written
+//! plus an `index.json` summary. Reports contain only deterministic
+//! data, so the emitted bytes are identical for every `--threads`
+//! value — `diff -r` between a serial and a parallel output directory
+//! is empty, and CI enforces exactly that.
+//!
+//! Argument parsing is hand-rolled: the build environment has no
+//! registry access, so no `clap`.
+
+use compstat_bench::registry::{find, registry};
+use compstat_core::json::Json;
+use compstat_core::{Report, Scale};
+use compstat_runtime::Runtime;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Schema identifier of the `index.json` summary document.
+const INDEX_SCHEMA: &str = "compstat-index/v1";
+
+/// Outcome of a stdout write ([`emit`]).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Emit {
+    /// Written in full.
+    Ok,
+    /// The reader closed the pipe (`compstat list | head`): stop
+    /// writing and exit successfully — not an error, and `println!`
+    /// would have panicked here.
+    Closed,
+    /// A real write failure (e.g. disk full behind a redirect): stop
+    /// and exit nonzero, the output is incomplete.
+    Failed,
+}
+
+/// Writes to stdout, distinguishing a closed pipe from a real failure.
+fn emit(text: &str) -> Emit {
+    use std::io::ErrorKind;
+    let mut out = std::io::stdout().lock();
+    match out.write_all(text.as_bytes()).and_then(|()| out.flush()) {
+        Ok(()) => Emit::Ok,
+        Err(e) if e.kind() == ErrorKind::BrokenPipe => Emit::Closed,
+        Err(e) => {
+            eprintln!("compstat: cannot write to stdout: {e}");
+            Emit::Failed
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("help" | "--help" | "-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("compstat: unknown command {other:?}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+compstat — run the paper's experiments through the unified engine
+
+USAGE:
+    compstat list
+    compstat run <name>... | --all [--scale quick|default|paper]
+                 [--threads N] [--out DIR]
+    compstat validate <dir-or-file>...
+    compstat help
+
+COMMANDS:
+    list        List every registered experiment (name and title)
+    run         Run experiments; print text reports, or write one JSON
+                report per experiment plus index.json with --out
+    validate    Parse every .json report under the given paths; fail on
+                the first malformed document
+
+OPTIONS (run):
+    --all           Run every registered experiment, in registry order
+    --scale SCALE   quick | default | paper (default: $COMPSTAT_SCALE
+                    or `default`; `paper` = full paper-scale counts)
+    --threads N     Worker threads (default: $COMPSTAT_THREADS or all
+                    cores; emitted bytes are identical for every N)
+    --out DIR       Write JSON reports to DIR instead of printing text
+";
+
+fn cmd_list(rest: &[String]) -> ExitCode {
+    if !rest.is_empty() {
+        eprintln!("compstat list takes no arguments");
+        return ExitCode::from(2);
+    }
+    let width = registry().iter().map(|e| e.name().len()).max().unwrap_or(0);
+    for e in registry() {
+        match emit(&format!("{:width$}  {}\n", e.name(), e.title())) {
+            Emit::Ok => {}
+            Emit::Closed => break,
+            Emit::Failed => return ExitCode::FAILURE,
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+struct RunArgs {
+    names: Vec<String>,
+    all: bool,
+    scale: Scale,
+    threads: Option<usize>,
+    out: Option<PathBuf>,
+}
+
+fn parse_run_args(rest: &[String]) -> Result<RunArgs, String> {
+    let mut parsed = RunArgs {
+        names: Vec::new(),
+        all: false,
+        scale: Scale::from_env(),
+        threads: None,
+        out: None,
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--all" => parsed.all = true,
+            "--scale" => {
+                let v = value_of("--scale")?;
+                parsed.scale = Scale::parse(&v)
+                    .ok_or_else(|| format!("unknown scale {v:?} (quick|default|paper)"))?;
+            }
+            "--threads" => {
+                let v = value_of("--threads")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads needs a number, got {v:?}"))?;
+                parsed.threads = Some(n);
+            }
+            "--out" => parsed.out = Some(PathBuf::from(value_of("--out")?)),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            name => parsed.names.push(name.to_string()),
+        }
+    }
+    if parsed.all && !parsed.names.is_empty() {
+        return Err("pass either experiment names or --all, not both".into());
+    }
+    if !parsed.all && parsed.names.is_empty() {
+        return Err("nothing to run: pass experiment names or --all".into());
+    }
+    Ok(parsed)
+}
+
+fn cmd_run(rest: &[String]) -> ExitCode {
+    let parsed = match parse_run_args(rest) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("compstat run: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let experiments: Vec<&dyn compstat_core::Experiment> = if parsed.all {
+        registry().to_vec()
+    } else {
+        let mut selected = Vec::new();
+        for name in &parsed.names {
+            match find(name) {
+                Some(e) => selected.push(e),
+                None => {
+                    eprintln!("compstat run: unknown experiment {name:?} (see `compstat list`)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        selected
+    };
+
+    let rt = match parsed.threads {
+        Some(n) => Runtime::with_threads(n),
+        None => Runtime::from_env(),
+    };
+
+    if let Some(dir) = &parsed.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("compstat run: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut reports: Vec<Report> = Vec::new();
+    for e in &experiments {
+        eprintln!("running {} ({} threads)...", e.name(), rt.threads());
+        let report = e.run(&rt, parsed.scale);
+        match &parsed.out {
+            Some(dir) => {
+                let path = dir.join(format!("{}.json", report.name));
+                if let Err(err) = std::fs::write(&path, report.to_json_string()) {
+                    eprintln!("compstat run: cannot write {}: {err}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {}", path.display());
+            }
+            None => {
+                let banner = "=".repeat(64);
+                match emit(&format!(
+                    "\n{banner}\n{}\n{banner}\n{}\n",
+                    e.title(),
+                    report.render_text()
+                )) {
+                    Emit::Ok => {}
+                    Emit::Closed => return ExitCode::SUCCESS,
+                    Emit::Failed => return ExitCode::FAILURE,
+                }
+            }
+        }
+        reports.push(report);
+    }
+
+    if let Some(dir) = &parsed.out {
+        let index = index_json(parsed.scale, &reports);
+        let path = dir.join("index.json");
+        let mut bytes = index.to_json_string();
+        bytes.push('\n');
+        if let Err(err) = std::fs::write(&path, bytes) {
+            eprintln!("compstat run: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {} ({} report{})",
+            path.display(),
+            reports.len(),
+            if reports.len() == 1 { "" } else { "s" }
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Builds the `index.json` summary: deterministic (no timestamps or
+/// thread counts), so a serial and a parallel run emit identical bytes.
+fn index_json(scale: Scale, reports: &[Report]) -> Json {
+    let entries = reports
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("name", Json::str(r.name)),
+                ("title", Json::str(r.title)),
+                ("file", Json::str(format!("{}.json", r.name))),
+                ("blocks", Json::Num(r.blocks.len() as f64)),
+                ("metrics", Json::Num(r.metrics.len() as f64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::str(INDEX_SCHEMA)),
+        ("scale", Json::str(scale.as_str())),
+        ("count", Json::Num(reports.len() as f64)),
+        ("experiments", Json::Arr(entries)),
+    ])
+}
+
+fn cmd_validate(rest: &[String]) -> ExitCode {
+    if rest.is_empty() {
+        eprintln!("compstat validate: pass at least one directory or .json file");
+        return ExitCode::from(2);
+    }
+    let mut files: Vec<PathBuf> = Vec::new();
+    for arg in rest {
+        let path = Path::new(arg);
+        if path.is_dir() {
+            match collect_json_files(path) {
+                Ok(mut found) => files.append(&mut found),
+                Err(e) => {
+                    eprintln!("compstat validate: cannot read {arg}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            files.push(path.to_path_buf());
+        }
+    }
+    if files.is_empty() {
+        eprintln!("compstat validate: no .json files found");
+        return ExitCode::FAILURE;
+    }
+    files.sort();
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("compstat validate: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("compstat validate: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(msg) = check_schema(path, &doc) {
+            eprintln!("compstat validate: {}: {msg}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if emit(&format!("{} document(s) valid\n", files.len())) == Emit::Failed {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Collects every `.json` file under `dir`, recursively (sharded runs
+/// nest report directories, e.g. `reports/run1/`, `reports/run2/`).
+fn collect_json_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            out.append(&mut collect_json_files(&path)?);
+        } else if path.extension().is_some_and(|e| e == "json") {
+            out.push(path);
+        }
+    }
+    Ok(out)
+}
+
+/// Checks the schema envelope of a report or index document.
+fn check_schema(path: &Path, doc: &Json) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema field")?;
+    match schema {
+        s if s == compstat_core::REPORT_SCHEMA => {
+            let name = doc
+                .get("experiment")
+                .and_then(Json::as_str)
+                .ok_or("report missing experiment name")?;
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+            if stem != name {
+                return Err(format!("file name does not match experiment {name:?}"));
+            }
+            doc.get("blocks")
+                .and_then(Json::as_arr)
+                .ok_or("report missing blocks array")?;
+            Ok(())
+        }
+        s if s == INDEX_SCHEMA => {
+            let entries = doc
+                .get("experiments")
+                .and_then(Json::as_arr)
+                .ok_or("index missing experiments array")?;
+            let count = doc.get("count").and_then(Json::as_f64).unwrap_or(-1.0);
+            if count != entries.len() as f64 {
+                return Err("index count does not match experiments length".into());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown schema {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn run_args_parse_flags_and_names() {
+        let p = parse_run_args(&strings(&[
+            "fig01",
+            "--scale",
+            "quick",
+            "--threads",
+            "4",
+            "--out",
+            "reports",
+        ]))
+        .unwrap();
+        assert_eq!(p.names, ["fig01"]);
+        assert!(!p.all);
+        assert_eq!(p.scale, Scale::Quick);
+        assert_eq!(p.threads, Some(4));
+        assert_eq!(p.out.as_deref(), Some(Path::new("reports")));
+    }
+
+    #[test]
+    fn run_args_paper_scale_is_full() {
+        let p = parse_run_args(&strings(&["--all", "--scale", "paper"])).unwrap();
+        assert!(p.all);
+        assert_eq!(p.scale, Scale::Full);
+    }
+
+    #[test]
+    fn run_args_reject_bad_usage() {
+        assert!(parse_run_args(&strings(&[])).is_err());
+        assert!(parse_run_args(&strings(&["--all", "fig01"])).is_err());
+        assert!(parse_run_args(&strings(&["--scale", "warp"])).is_err());
+        assert!(parse_run_args(&strings(&["--threads", "many"])).is_err());
+        assert!(parse_run_args(&strings(&["--bogus"])).is_err());
+        assert!(parse_run_args(&strings(&["fig01", "--out"])).is_err());
+    }
+
+    #[test]
+    fn index_is_deterministic_and_self_consistent() {
+        let reports: Vec<Report> = ["tab01", "tab02"]
+            .iter()
+            .map(|n| find(n).unwrap().run(&Runtime::serial(), Scale::Quick))
+            .collect();
+        let a = index_json(Scale::Quick, &reports).to_json_string();
+        let b = index_json(Scale::Quick, &reports).to_json_string();
+        assert_eq!(a, b);
+        let doc = Json::parse(&a).unwrap();
+        assert!(check_schema(Path::new("index.json"), &doc).is_ok());
+        assert_eq!(doc.get("count").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn schema_check_rejects_mismatched_file_names() {
+        let report = find("tab01").unwrap().run(&Runtime::serial(), Scale::Quick);
+        let doc = Json::parse(&report.to_json_string()).unwrap();
+        assert!(check_schema(Path::new("tab01.json"), &doc).is_ok());
+        assert!(check_schema(Path::new("tab02.json"), &doc).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! End-to-end tests of the `compstat` binary: the acceptance criteria
+//! of the unified engine. `run --all --scale quick --out dir/` must
+//! complete offline, emit one schema-valid JSON report per registered
+//! experiment plus an index, and the emitted bytes must be identical
+//! for `--threads 1` vs `--threads 4`.
+
+use compstat_core::json::Json;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn compstat(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_compstat"))
+        .args(args)
+        .output()
+        .expect("compstat binary runs")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    // A stale directory from a previous run would mask missing files.
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn list_names_every_registered_experiment() {
+    let out = compstat(&["list"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for e in compstat_bench::registry() {
+        assert!(
+            text.lines().any(|l| l.starts_with(e.name())),
+            "missing {} in:\n{text}",
+            e.name()
+        );
+    }
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    for args in [
+        &["run"][..],
+        &["run", "fig99"],
+        &["run", "--all", "--scale", "warp"],
+        &["frobnicate"],
+        &["list", "extra"],
+    ] {
+        let out = compstat(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+    // help goes to stdout and exits 0.
+    let out = compstat(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("USAGE"));
+}
+
+#[test]
+fn run_without_out_prints_text_reports() {
+    let out = compstat(&["run", "tab01", "tab02", "--scale", "quick"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Table I: dynamic range"));
+    assert!(text.contains("binary64 add"));
+}
+
+#[test]
+fn run_all_quick_emits_identical_bytes_for_any_thread_count() {
+    let dir1 = tmp_dir("reports-t1");
+    let dir4 = tmp_dir("reports-t4");
+    for (threads, dir) in [("1", &dir1), ("4", &dir4)] {
+        let out = compstat(&[
+            "run",
+            "--all",
+            "--scale",
+            "quick",
+            "--threads",
+            threads,
+            "--out",
+            dir.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "threads={threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // One report per registered experiment, plus the index.
+    let expected: Vec<String> = compstat_bench::registry()
+        .iter()
+        .map(|e| format!("{}.json", e.name()))
+        .chain(std::iter::once("index.json".to_string()))
+        .collect();
+    let mut found: Vec<String> = std::fs::read_dir(&dir1)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    found.sort();
+    let mut want = expected.clone();
+    want.sort();
+    assert_eq!(found, want);
+
+    // Byte-for-byte identical across thread counts, and schema-valid.
+    for file in &expected {
+        let a = std::fs::read(dir1.join(file)).unwrap();
+        let b = std::fs::read(dir4.join(file)).unwrap();
+        assert_eq!(a, b, "{file} differs between --threads 1 and --threads 4");
+        let doc =
+            Json::parse(std::str::from_utf8(&a).unwrap()).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap();
+        assert!(
+            schema == "compstat-report/v1" || schema == "compstat-index/v1",
+            "{file}: schema {schema}"
+        );
+    }
+
+    // The index enumerates exactly the emitted reports.
+    let index = Json::parse(&std::fs::read_to_string(dir1.join("index.json")).unwrap()).unwrap();
+    assert_eq!(
+        index.get("count").unwrap().as_f64().unwrap() as usize,
+        compstat_bench::registry().len()
+    );
+    assert_eq!(index.get("scale").unwrap().as_str(), Some("quick"));
+    for entry in index.get("experiments").unwrap().as_arr().unwrap() {
+        let file = entry.get("file").unwrap().as_str().unwrap();
+        assert!(dir1.join(file).is_file(), "index names missing file {file}");
+    }
+
+    // The validate subcommand agrees.
+    let out = compstat(&["validate", dir1.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let valid_line = format!("{} document(s) valid", compstat_bench::registry().len() + 1);
+    assert!(String::from_utf8(out.stdout).unwrap().contains(&valid_line));
+}
+
+#[test]
+fn validate_rejects_malformed_documents() {
+    let dir = tmp_dir("reports-bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("broken.json"), "{\"schema\": ").unwrap();
+    let out = compstat(&["validate", dir.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("broken.json"));
+
+    // Valid JSON with an unknown schema also fails.
+    std::fs::write(dir.join("broken.json"), "{\"schema\": \"mystery/v9\"}").unwrap();
+    let out = compstat(&["validate", dir.to_str().unwrap()]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn validate_recurses_into_nested_report_directories() {
+    // Sharded runs nest report directories; validate must find them.
+    let root = tmp_dir("reports-nested");
+    let sub = root.join("run1");
+    let out = compstat(&[
+        "run",
+        "tab01",
+        "--scale",
+        "quick",
+        "--out",
+        sub.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = compstat(&["validate", root.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("2 document(s) valid"));
+}
+
+#[test]
+fn single_report_matches_the_library_run() {
+    // The binary's emitted JSON is exactly what the library produces:
+    // no CLI-layer drift in the report pipeline.
+    let dir = tmp_dir("reports-one");
+    let out = compstat(&[
+        "run",
+        "fig01",
+        "--scale",
+        "quick",
+        "--threads",
+        "2",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let from_cli = std::fs::read_to_string(dir.join("fig01.json")).unwrap();
+    let from_lib = compstat_bench::find("fig01")
+        .unwrap()
+        .run(
+            &compstat_runtime::Runtime::serial(),
+            compstat_core::Scale::Quick,
+        )
+        .to_json_string();
+    assert_eq!(from_cli, from_lib);
+}

@@ -1,0 +1,69 @@
+//! The `Experiment` abstraction of the unified engine.
+//!
+//! The paper's evaluation is one algorithm swept across number systems
+//! and scales; this trait makes every such sweep a first-class object:
+//! a named unit of work that runs at any [`Scale`], on any
+//! [`Runtime`] thread budget, and returns a structured [`Report`].
+//! `compstat-bench` registers one implementation per figure/table (and
+//! ablation) of the paper, and the `compstat` CLI lists and runs them.
+//!
+//! ## Contract
+//!
+//! * `run` is **deterministic**: for a fixed scale, the returned report
+//!   is byte-identical for every runtime thread count (the engine
+//!   inherits `compstat-runtime`'s parallel ≡ serial guarantee), and
+//!   contains no wall-clock or environment-dependent data.
+//! * `name` is a stable, filesystem-safe identifier (lowercase
+//!   alphanumerics and `-`), unique within a registry.
+
+use crate::report::Report;
+use crate::scale::Scale;
+use compstat_runtime::Runtime;
+
+/// A runnable experiment of the paper's evaluation.
+pub trait Experiment: Sync {
+    /// Stable registry identifier (e.g. `fig09`, `tab02`).
+    fn name(&self) -> &'static str;
+
+    /// Human-readable title, as printed above the text report.
+    fn title(&self) -> &'static str;
+
+    /// Runs the experiment at `scale`, dispatching parallel sweeps
+    /// through `rt`. See the [module docs](self) for the determinism
+    /// contract.
+    fn run(&self, rt: &Runtime, scale: Scale) -> Report;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubling;
+
+    impl Experiment for Doubling {
+        fn name(&self) -> &'static str {
+            "doubling"
+        }
+        fn title(&self) -> &'static str {
+            "Doubling demo"
+        }
+        fn run(&self, rt: &Runtime, scale: Scale) -> Report {
+            let n = scale.pick(4, 8, 16);
+            let doubled = rt.par_map_index(n, |i| 2 * i);
+            let mut r = Report::new(self.name(), self.title(), scale).param("n", n);
+            r.text(format!("{doubled:?}\n"));
+            r
+        }
+    }
+
+    #[test]
+    fn trait_objects_run_and_report() {
+        let e: &dyn Experiment = &Doubling;
+        let report = e.run(&Runtime::with_threads(3), Scale::Quick);
+        assert_eq!(report.name, "doubling");
+        assert_eq!(report.render_text(), "[0, 2, 4, 6]\n");
+        // Determinism across thread counts, down to the JSON bytes.
+        let serial = e.run(&Runtime::serial(), Scale::Quick);
+        assert_eq!(report.to_json_string(), serial.to_json_string());
+    }
+}

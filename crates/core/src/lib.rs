@@ -18,7 +18,13 @@
 //! * [`stats`] — box-plot summaries and empirical CDFs (the shapes of
 //!   Figures 3, 9, 10, 11);
 //! * [`accuracy`] — the Section IV-A bucketed accuracy experiment;
-//! * [`report`] — text-table rendering used by every bench target.
+//! * [`report`] — the structured [`Report`](report::Report) model with
+//!   text-table and JSON rendering;
+//! * [`experiment`] — the [`Experiment`] trait of the unified engine
+//!   (run any registered experiment at any [`Scale`] on any thread
+//!   count);
+//! * [`json`] — the hand-rolled JSON writer/parser behind `--out`
+//!   report emission and validation.
 //!
 //! # Examples
 //!
@@ -47,13 +53,19 @@
 
 pub mod accuracy;
 pub mod error;
+pub mod experiment;
+pub mod json;
 pub mod report;
 pub mod sample;
+pub mod scale;
 pub mod statfloat;
 pub mod stats;
 
 pub use accuracy::{figure3_buckets, figure9_buckets, ExponentBucket, OpKind};
 pub use error::{relative_error, ErrorClass, ErrorMeasurement};
+pub use experiment::Experiment;
+pub use report::{Block, Report, REPORT_SCHEMA};
+pub use scale::Scale;
 pub use statfloat::{FormatKind, StatFloat, MEASURE_PREC};
 pub use stats::{BoxStats, Cdf};
 

@@ -1,6 +1,22 @@
-//! Plain-text table rendering for the experiment harness: every bench
-//! target prints its table/figure as an aligned text table.
+//! The structured report model of the experiment engine.
+//!
+//! Every experiment produces a [`Report`]: an ordered sequence of
+//! [`Block`]s (aligned text [`Table`]s and verbatim text) plus named
+//! parameters and scalar metrics. One report renders two ways:
+//!
+//! * [`Report::render_text`] — the human-readable figure/table text the
+//!   bench targets print (byte-compatible with the pre-engine report
+//!   strings, which the golden tests in `tests/paper_claims.rs` pin);
+//! * [`Report::to_json`] — a machine-readable document written by the
+//!   hand-rolled [`crate::json`] writer (schema
+//!   `compstat-report/v1`), emitted by `compstat run --out`.
+//!
+//! Reports contain only deterministic data — no timestamps, thread
+//! counts, or wall-clock measurements — so the emitted JSON is
+//! byte-identical for every `COMPSTAT_THREADS` setting.
 
+use crate::json::Json;
+use crate::scale::Scale;
 use core::fmt::Write as _;
 
 /// A simple column-aligned text table.
@@ -37,6 +53,18 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// The column headers.
+    #[must_use]
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders with single-space-padded column alignment.
     #[must_use]
     pub fn render(&self) -> String {
@@ -69,6 +97,170 @@ impl Table {
             line(row, &mut out);
         }
         out
+    }
+}
+
+/// One content block of a [`Report`].
+#[derive(Clone, Debug)]
+pub enum Block {
+    /// Verbatim text, rendered exactly as stored (the block carries its
+    /// own newlines — rendering adds no glue between blocks).
+    Text(String),
+    /// An aligned table, rendered via [`Table::render`].
+    Table(Table),
+}
+
+/// The structured result of one experiment run.
+///
+/// See the [module docs](self) for the dual text/JSON rendering and the
+/// determinism contract.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Registry name of the experiment (e.g. `fig09`).
+    pub name: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// The scale this run used.
+    pub scale: Scale,
+    /// Named run parameters (sample counts, sequence lengths, seeds),
+    /// in insertion order.
+    pub params: Vec<(&'static str, String)>,
+    /// Named scalar metrics (headline numbers), in insertion order.
+    /// Metrics appear only in the JSON rendering.
+    pub metrics: Vec<(&'static str, f64)>,
+    /// The report body, in order.
+    pub blocks: Vec<Block>,
+}
+
+/// The schema identifier stamped into every report document.
+pub const REPORT_SCHEMA: &str = "compstat-report/v1";
+
+impl Report {
+    /// Starts an empty report.
+    #[must_use]
+    pub fn new(name: &'static str, title: &'static str, scale: Scale) -> Report {
+        Report {
+            name,
+            title,
+            scale,
+            params: Vec::new(),
+            metrics: Vec::new(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Records a named parameter (builder style).
+    #[must_use]
+    pub fn param(mut self, key: &'static str, value: impl ToString) -> Report {
+        self.params.push((key, value.to_string()));
+        self
+    }
+
+    /// Records a named scalar metric.
+    pub fn metric(&mut self, key: &'static str, value: f64) {
+        self.metrics.push((key, value));
+    }
+
+    /// Appends a verbatim text block.
+    pub fn text(&mut self, s: impl Into<String>) {
+        self.blocks.push(Block::Text(s.into()));
+    }
+
+    /// Appends a table block.
+    pub fn table(&mut self, t: Table) {
+        self.blocks.push(Block::Table(t));
+    }
+
+    /// Renders the human-readable body: the concatenation of every
+    /// block (tables via [`Table::render`], text verbatim).
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for block in &self.blocks {
+            match block {
+                Block::Text(s) => out.push_str(s),
+                Block::Table(t) => out.push_str(&t.render()),
+            }
+        }
+        out
+    }
+
+    /// Serializes the report as a compact JSON document.
+    ///
+    /// Layout (schema `compstat-report/v1`):
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "compstat-report/v1",
+    ///   "experiment": "fig09",
+    ///   "title": "...",
+    ///   "scale": "quick",
+    ///   "params": {"columns": "40"},
+    ///   "metrics": {"binary64_underflows": 5},
+    ///   "blocks": [
+    ///     {"kind": "table", "headers": ["..."], "rows": [["..."]]},
+    ///     {"kind": "text", "text": "..."}
+    ///   ]
+    /// }
+    /// ```
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let params = self
+            .params
+            .iter()
+            .map(|(k, v)| (k.to_string(), Json::str(v.clone())))
+            .collect();
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(k, v)| (k.to_string(), Json::Num(*v)))
+            .collect();
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|b| match b {
+                Block::Text(s) => Json::obj(vec![
+                    ("kind", Json::str("text")),
+                    ("text", Json::str(s.clone())),
+                ]),
+                Block::Table(t) => Json::obj(vec![
+                    ("kind", Json::str("table")),
+                    (
+                        "headers",
+                        Json::Arr(t.headers().iter().map(|h| Json::str(h.as_str())).collect()),
+                    ),
+                    (
+                        "rows",
+                        Json::Arr(
+                            t.rows()
+                                .iter()
+                                .map(|r| {
+                                    Json::Arr(r.iter().map(|c| Json::str(c.as_str())).collect())
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema", Json::str(REPORT_SCHEMA)),
+            ("experiment", Json::str(self.name)),
+            ("title", Json::str(self.title)),
+            ("scale", Json::str(self.scale.as_str())),
+            ("params", Json::Obj(params)),
+            ("metrics", Json::Obj(metrics)),
+            ("blocks", Json::Arr(blocks)),
+        ])
+    }
+
+    /// The JSON document as a string, newline-terminated (the exact
+    /// bytes `compstat run --out` writes to disk).
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().to_json_string();
+        s.push('\n');
+        s
     }
 }
 
@@ -131,5 +323,46 @@ mod tests {
         assert_eq!(fmt_f64(f64::NEG_INFINITY, 2), "-inf");
         assert_eq!(fmt_reduction(100.0, 40.0), "60.00%");
         assert_eq!(fmt_reduction(0.0, 40.0), "-");
+    }
+
+    fn sample_report() -> Report {
+        let mut r = Report::new("demo", "Demo experiment", Scale::Quick).param("samples", 12usize);
+        r.metric("median", 5.82);
+        let mut t = Table::new(vec!["k".into(), "v".into()]);
+        t.row(vec!["a".into(), "1".into()]);
+        r.table(t);
+        r.text("\nnote line\n");
+        r
+    }
+
+    #[test]
+    fn report_text_is_block_concatenation() {
+        let r = sample_report();
+        let text = r.render_text();
+        assert!(text.starts_with("k  v\n"), "{text}");
+        assert!(text.ends_with("\nnote line\n"), "{text}");
+    }
+
+    #[test]
+    fn report_json_parses_and_carries_every_field() {
+        let r = sample_report();
+        let s = r.to_json_string();
+        assert!(s.ends_with('\n'));
+        let v = crate::json::Json::parse(&s).expect("report JSON parses");
+        assert_eq!(v.get("schema").unwrap().as_str(), Some(REPORT_SCHEMA));
+        assert_eq!(v.get("experiment").unwrap().as_str(), Some("demo"));
+        assert_eq!(v.get("scale").unwrap().as_str(), Some("quick"));
+        assert_eq!(
+            v.get("params").unwrap().get("samples").unwrap().as_str(),
+            Some("12")
+        );
+        assert_eq!(
+            v.get("metrics").unwrap().get("median").unwrap().as_f64(),
+            Some(5.82)
+        );
+        let blocks = v.get("blocks").unwrap().as_arr().unwrap();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].get("kind").unwrap().as_str(), Some("table"));
+        assert_eq!(blocks[1].get("kind").unwrap().as_str(), Some("text"));
     }
 }

@@ -92,6 +92,11 @@ pub fn forward_log(model: &Hmm, obs: &[usize]) -> LogF64 {
 
 /// The 256-bit oracle forward pass: the baseline "correct value" for
 /// every accuracy figure.
+///
+/// # Panics
+///
+/// Panics if any observation symbol is out of range (same message as
+/// [`forward`]).
 #[must_use]
 pub fn forward_oracle(model: &Hmm, obs: &[usize], ctx: &Context) -> BigFloat {
     let h = model.num_states();
@@ -105,11 +110,13 @@ pub fn forward_oracle(model: &Hmm, obs: &[usize], ctx: &Context) -> BigFloat {
         return BigFloat::one();
     };
     let m = model.num_symbols();
+    assert!(o0 < m, "observation symbol out of range");
     let mut alpha_prev: Vec<BigFloat> = (0..h)
         .map(|q| ctx.mul(&BigFloat::from_f64(model.pi(q)), &b[q * m + o0]))
         .collect();
     let mut alpha: Vec<BigFloat> = vec![BigFloat::zero(); h];
     for &ot in rest {
+        assert!(ot < m, "observation symbol out of range");
         for q in 0..h {
             let mut path_sum = BigFloat::zero();
             for p in 0..h {
@@ -136,6 +143,12 @@ pub struct ScaledForward {
 /// by multiplying small numbers with a scaling factor"): alpha is
 /// renormalized to sum 1 after every step and the log of the scale is
 /// accumulated. Works entirely in binary64.
+///
+/// # Panics
+///
+/// Panics if any observation symbol is out of range — with the same
+/// message as [`forward`] and [`forward_log`], so callers can rely on
+/// one diagnostic across the kernel family.
 #[must_use]
 pub fn forward_scaled(model: &Hmm, obs: &[usize]) -> ScaledForward {
     let h = model.num_states();
@@ -145,6 +158,7 @@ pub fn forward_scaled(model: &Hmm, obs: &[usize]) -> ScaledForward {
             rescales: 0,
         };
     };
+    assert!(o0 < model.num_symbols(), "observation symbol out of range");
     let mut alpha_prev: Vec<f64> = (0..h).map(|q| model.pi(q) * model.b(q, o0)).collect();
     let mut alpha: Vec<f64> = vec![0.0; h];
     let mut ln_l = 0.0;
@@ -161,6 +175,7 @@ pub fn forward_scaled(model: &Hmm, obs: &[usize]) -> ScaledForward {
     };
     rescale(&mut alpha_prev, &mut ln_l, &mut rescales);
     for &ot in rest {
+        assert!(ot < model.num_symbols(), "observation symbol out of range");
         for q in 0..h {
             let mut path_sum = 0.0;
             for p in 0..h {

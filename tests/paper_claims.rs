@@ -206,6 +206,59 @@ posit(64,18) mul        558   969       10   12      336
 }
 
 #[test]
+fn golden_reports_flow_unchanged_through_the_engine() {
+    // Differential lockdown of the engine refactor: running an
+    // experiment through its registry `Experiment` object renders the
+    // byte-identical text the pre-refactor free functions produced
+    // (which the golden tests above pin value-for-value).
+    let rt = Runtime::from_env();
+    let cases: [(&str, String); 3] = [
+        ("fig01", experiments::figure1_report(Scale::Quick, &rt)),
+        ("fig09", experiments::figure9_report(Scale::Quick, &rt)),
+        ("tab02", experiments::table2_report()),
+    ];
+    for (name, legacy) in cases {
+        let engine = compstat_bench::find(name)
+            .expect("registered")
+            .run(&rt, Scale::Quick)
+            .render_text();
+        assert_eq!(engine, legacy, "{name} text drifted through the engine");
+    }
+}
+
+#[test]
+fn golden_tab02_json_document() {
+    // The full JSON byte stream of the cheapest fully-static report:
+    // pins the hand-rolled writer (key order, escaping, number
+    // formatting) and the Table II cells in one assertion. If this
+    // fails, either the report content or the report *format* changed —
+    // both must be deliberate, documented decisions.
+    let want = concat!(
+        r#"{"schema":"compstat-report/v1","experiment":"tab02","title":"Table II: "#,
+        r#"resource utilization of individual arithmetic units","scale":"quick","#,
+        r#""params":{},"metrics":{"lse_latency_ratio":10.666666666666666,"#,
+        r#""lse_lut_ratio":7.475699558173785},"blocks":[{"kind":"table","#,
+        r#""headers":["Arithmetic Unit","LUT","Register","DSP","Cycles","Fmax (MHz)"],"#,
+        r#""rows":[["binary64 add","679","587","0","6","480"],"#,
+        r#"["Log add (binary64 LSE)","5076","5287","34","64","346"],"#,
+        r#"["posit(64,12) add","1064","1005","0","8","354"],"#,
+        r#"["posit(64,18) add","1012","974","0","8","358"],"#,
+        r#"["binary64 mul","213","484","6","8","480"],"#,
+        r#"["Log mul (binary64 add)","679","587","0","6","480"],"#,
+        r#"["posit(64,12) mul","618","1004","9","12","336"],"#,
+        r#"["posit(64,18) mul","558","969","10","12","336"]]},"#,
+        r#"{"kind":"text","text":"\nkey ratios: LSE/binary64-add latency = 10.7x, "#,
+        r#"LUT = 7.5x (the paper's '10x slower, ~8x LUTs/FFs')\n"}]}"#,
+        "\n",
+    );
+    let got = compstat_bench::find("tab02")
+        .expect("registered")
+        .run(&Runtime::from_env(), Scale::Quick)
+        .to_json_string();
+    assert_eq!(got, want, "tab02 JSON drifted");
+}
+
+#[test]
 fn resource_model_tracks_reported_tables_loosely() {
     // Sanity guard: composed estimates stay within 30% of every reported
     // LUT cell (tighter assertions live in the fpga crate's tests).

@@ -90,3 +90,23 @@ fn oversubscribed_runtimes_change_nothing() {
     let b = experiments::figure9_report(Scale::Quick, &Runtime::with_threads(64));
     assert_eq!(a, b);
 }
+
+#[test]
+fn every_registered_experiment_emits_identical_json_across_thread_counts() {
+    // The engine-wide guarantee behind `compstat run --out`: for every
+    // experiment in the registry, the full JSON document (params,
+    // metrics, tables, text — everything the CLI writes to disk) is
+    // byte-identical between the serial fallback and a 4-thread
+    // runtime. This is the exact property `diff -r reports-t1
+    // reports-t4` checks in CI, run here at the library level.
+    for e in compstat_bench::registry() {
+        let a = e.run(&serial(), Scale::Quick);
+        let b = e.run(&four(), Scale::Quick);
+        assert_eq!(
+            a.to_json_string(),
+            b.to_json_string(),
+            "{} JSON drifts with the thread count",
+            e.name()
+        );
+    }
+}
