@@ -18,6 +18,7 @@
 
 pub mod experiments;
 pub mod registry;
+pub mod reports;
 pub mod scale;
 
 pub use registry::{find, registry};

@@ -1,0 +1,93 @@
+//! Registry iteration helpers for report directories — the glue
+//! between the experiment registry and the diff engine.
+//!
+//! `compstat run --all --out dir/` writes one JSON report per
+//! registered experiment plus an `index.json`; these helpers walk the
+//! registry to produce the in-memory equivalent of such a directory
+//! ([`run_registry_parsed`]) or to load one back with
+//! registry-completeness checking ([`load_registry_dir`]). The golden
+//! corpus gate in `tests/report_diff.rs` is built from exactly these
+//! two calls plus [`compstat_core::diff::diff_sets`].
+
+use crate::registry::registry;
+use compstat_core::diff::{DiffError, ParsedReport};
+use compstat_core::Scale;
+use compstat_runtime::Runtime;
+use std::path::Path;
+
+/// Runs every registered experiment at `scale` and returns each report
+/// in its parsed, on-disk canonical form (what `compstat run --out`
+/// writes), in registry order — ready to diff against a loaded golden
+/// directory.
+#[must_use]
+pub fn run_registry_parsed(rt: &Runtime, scale: Scale) -> Vec<ParsedReport> {
+    registry()
+        .iter()
+        .map(|e| ParsedReport::of(&e.run(rt, scale)))
+        .collect()
+}
+
+/// Loads `<name>.json` for every registered experiment from `dir`, in
+/// registry order.
+///
+/// Unlike [`compstat_core::diff::load_report_dir`] (which follows the
+/// directory's own `index.json`), this iterates the *registry*, so a
+/// corpus that is missing an experiment's report fails here with the
+/// missing file named — the check a golden directory needs.
+///
+/// # Errors
+///
+/// Returns a [`DiffError`] naming the first report file that is
+/// missing, unreadable, or malformed.
+pub fn load_registry_dir(dir: &Path) -> Result<Vec<ParsedReport>, DiffError> {
+    registry()
+        .iter()
+        .map(|e| {
+            let path = dir.join(format!("{}.json", e.name()));
+            let text = std::fs::read_to_string(&path).map_err(|err| DiffError {
+                path: Some(path.clone()),
+                message: format!("cannot read report for registered experiment: {err}"),
+            })?;
+            ParsedReport::parse(&text).map_err(|err| DiffError {
+                path: Some(path),
+                message: err.message,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compstat_core::diff::{diff_sets, DiffStatus, TolerancePolicy};
+
+    #[test]
+    fn missing_registry_report_is_named() {
+        let dir = std::env::temp_dir().join(format!("compstat-reports-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = load_registry_dir(&dir).unwrap_err();
+        let path = err.path.expect("error names the file");
+        assert!(
+            path.ends_with(format!("{}.json", registry()[0].name())),
+            "{}",
+            path.display()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parsed_registry_run_diffs_clean_against_itself() {
+        // Cheap model-only slice of the registry contract: two
+        // identical parsed runs are Clean under the exact policy.
+        let rt = Runtime::serial();
+        let one: Vec<ParsedReport> = ["tab01", "tab02"]
+            .iter()
+            .map(|n| ParsedReport::of(&crate::find(n).unwrap().run(&rt, Scale::Quick)))
+            .collect();
+        let two = one.clone();
+        let d = diff_sets(&one, &two, &TolerancePolicy::exact());
+        assert_eq!(d.status(), DiffStatus::Clean);
+        assert_eq!(d.compared.len(), 2);
+    }
+}

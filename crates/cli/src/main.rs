@@ -4,6 +4,7 @@
 //! compstat list
 //! compstat run <name>... | --all [--scale quick|default|paper]
 //!              [--threads N] [--out DIR]
+//! compstat diff <baseline-dir> <new-dir> [--tolerances FILE] [--json]
 //! compstat validate <dir-or-file>...
 //! ```
 //!
@@ -16,19 +17,22 @@
 //! value — `diff -r` between a serial and a parallel output directory
 //! is empty, and CI enforces exactly that.
 //!
+//! `diff` compares two report directories cell by cell under a
+//! [`TolerancePolicy`] and exits 0 (clean), 1 (changes, all within
+//! tolerance), or 2 (violations); any usage or load error exits 3 so
+//! the three verdict codes stay unambiguous.
+//!
 //! Argument parsing is hand-rolled: the build environment has no
 //! registry access, so no `clap`.
 
 use compstat_bench::registry::{find, registry};
+use compstat_core::diff::{diff_dirs, TolerancePolicy};
 use compstat_core::json::Json;
-use compstat_core::{Report, Scale};
+use compstat_core::{Report, Scale, INDEX_SCHEMA};
 use compstat_runtime::Runtime;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-/// Schema identifier of the `index.json` summary document.
-const INDEX_SCHEMA: &str = "compstat-index/v1";
 
 /// Outcome of a stdout write ([`emit`]).
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -63,6 +67,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("list") => cmd_list(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("help" | "--help" | "-h") | None => {
             print!("{USAGE}");
@@ -83,6 +88,7 @@ USAGE:
     compstat list
     compstat run <name>... | --all [--scale quick|default|paper]
                  [--threads N] [--out DIR]
+    compstat diff <baseline-dir> <new-dir> [--tolerances FILE] [--json]
     compstat validate <dir-or-file>...
     compstat help
 
@@ -90,8 +96,11 @@ COMMANDS:
     list        List every registered experiment (name and title)
     run         Run experiments; print text reports, or write one JSON
                 report per experiment plus index.json with --out
-    validate    Parse every .json report under the given paths; fail on
-                the first malformed document
+    diff        Compare two report directories cell by cell; exit 0 if
+                identical, 1 if all changes are within tolerance, 2 on
+                violations or added/removed experiments, 3 on errors
+    validate    Parse every .json report under the given paths; report
+                every malformed document with its reason
 
 OPTIONS (run):
     --all           Run every registered experiment, in registry order
@@ -100,6 +109,12 @@ OPTIONS (run):
     --threads N     Worker threads (default: $COMPSTAT_THREADS or all
                     cores; emitted bytes are identical for every N)
     --out DIR       Write JSON reports to DIR instead of printing text
+
+OPTIONS (diff):
+    --tolerances F  Load a compstat-tolerances/v1 JSON policy file
+                    (default: every value must be byte-identical)
+    --json          Emit the structured compstat-diff/v1 document
+                    instead of the human-readable summary
 ";
 
 fn cmd_list(rest: &[String]) -> ExitCode {
@@ -277,6 +292,80 @@ fn index_json(scale: Scale, reports: &[Report]) -> Json {
     ])
 }
 
+struct DiffArgs {
+    baseline: PathBuf,
+    new: PathBuf,
+    tolerances: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_diff_args(rest: &[String]) -> Result<DiffArgs, String> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut tolerances = None;
+    let mut json = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--tolerances" => match it.next() {
+                Some(v) => tolerances = Some(PathBuf::from(v)),
+                None => return Err("--tolerances needs a file".into()),
+            },
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            dir => dirs.push(PathBuf::from(dir)),
+        }
+    }
+    match <[PathBuf; 2]>::try_from(dirs) {
+        Ok([baseline, new]) => Ok(DiffArgs {
+            baseline,
+            new,
+            tolerances,
+            json,
+        }),
+        Err(_) => Err("pass exactly two report directories: <baseline-dir> <new-dir>".into()),
+    }
+}
+
+/// Exit code for `diff` usage and load errors, distinct from the
+/// 0/1/2 verdict codes.
+const DIFF_TROUBLE: u8 = 3;
+
+fn cmd_diff(rest: &[String]) -> ExitCode {
+    let parsed = match parse_diff_args(rest) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("compstat diff: {msg}");
+            return ExitCode::from(DIFF_TROUBLE);
+        }
+    };
+    let policy = match &parsed.tolerances {
+        Some(path) => match TolerancePolicy::load(path) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("compstat diff: {e}");
+                return ExitCode::from(DIFF_TROUBLE);
+            }
+        },
+        None => TolerancePolicy::exact(),
+    };
+    let report = match diff_dirs(&parsed.baseline, &parsed.new, &policy) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("compstat diff: {e}");
+            return ExitCode::from(DIFF_TROUBLE);
+        }
+    };
+    let rendered = if parsed.json {
+        report.to_json_string()
+    } else {
+        report.render_text()
+    };
+    if emit(&rendered) == Emit::Failed {
+        return ExitCode::from(DIFF_TROUBLE);
+    }
+    ExitCode::from(report.status().exit_code())
+}
+
 fn cmd_validate(rest: &[String]) -> ExitCode {
     if rest.is_empty() {
         eprintln!("compstat validate: pass at least one directory or .json file");
@@ -302,25 +391,29 @@ fn cmd_validate(rest: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     files.sort();
+    // Check every file, accumulating failures: one invocation reports
+    // every invalid document with its reason, not just the first.
+    let mut invalid = 0usize;
     for path in &files {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("compstat validate: cannot read {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
+        let reason = match std::fs::read_to_string(path) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(doc) => match check_schema(path, &doc) {
+                    Ok(()) => continue,
+                    Err(msg) => msg,
+                },
+                Err(e) => e.to_string(),
+            },
+            Err(e) => format!("cannot read: {e}"),
         };
-        let doc = match Json::parse(&text) {
-            Ok(d) => d,
-            Err(e) => {
-                eprintln!("compstat validate: {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        if let Err(msg) = check_schema(path, &doc) {
-            eprintln!("compstat validate: {}: {msg}", path.display());
-            return ExitCode::FAILURE;
-        }
+        eprintln!("compstat validate: {}: {reason}", path.display());
+        invalid += 1;
+    }
+    if invalid > 0 {
+        eprintln!(
+            "compstat validate: {invalid} of {} document(s) invalid",
+            files.len()
+        );
+        return ExitCode::FAILURE;
     }
     if emit(&format!("{} document(s) valid\n", files.len())) == Emit::Failed {
         return ExitCode::FAILURE;
@@ -375,6 +468,13 @@ fn check_schema(path: &Path, doc: &Json) -> Result<(), String> {
             }
             Ok(())
         }
+        s if s == compstat_core::diff::TOLERANCES_SCHEMA => {
+            // Check through the real loader so bad tolerance spellings
+            // fail validation, not the later diff run.
+            TolerancePolicy::from_json(doc)
+                .map(|_| ())
+                .map_err(|e| e.message)
+        }
         other => Err(format!("unknown schema {other:?}")),
     }
 }
@@ -421,6 +521,28 @@ mod tests {
         assert!(parse_run_args(&strings(&["--threads", "many"])).is_err());
         assert!(parse_run_args(&strings(&["--bogus"])).is_err());
         assert!(parse_run_args(&strings(&["fig01", "--out"])).is_err());
+    }
+
+    #[test]
+    fn diff_args_parse_dirs_and_flags() {
+        let p = parse_diff_args(&strings(&["goldens/quick", "fresh", "--json"])).unwrap();
+        assert_eq!(p.baseline, Path::new("goldens/quick"));
+        assert_eq!(p.new, Path::new("fresh"));
+        assert!(p.json);
+        assert_eq!(p.tolerances, None);
+
+        let p = parse_diff_args(&strings(&["a", "b", "--tolerances", "tol.json"])).unwrap();
+        assert_eq!(p.tolerances.as_deref(), Some(Path::new("tol.json")));
+        assert!(!p.json);
+    }
+
+    #[test]
+    fn diff_args_reject_bad_usage() {
+        assert!(parse_diff_args(&strings(&[])).is_err());
+        assert!(parse_diff_args(&strings(&["only-one"])).is_err());
+        assert!(parse_diff_args(&strings(&["a", "b", "c"])).is_err());
+        assert!(parse_diff_args(&strings(&["a", "b", "--tolerances"])).is_err());
+        assert!(parse_diff_args(&strings(&["a", "b", "--bogus"])).is_err());
     }
 
     #[test]

@@ -153,6 +153,253 @@ fn validate_rejects_malformed_documents() {
 }
 
 #[test]
+fn validate_reports_every_invalid_file_with_reasons() {
+    // One invocation must name all invalid documents, not stop at the
+    // first: two broken files plus one valid report.
+    let dir = tmp_dir("reports-multi-bad");
+    let out = compstat(&[
+        "run",
+        "tab01",
+        "--scale",
+        "quick",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    std::fs::write(dir.join("aa-truncated.json"), "{\"schema\": ").unwrap();
+    std::fs::write(dir.join("zz-mystery.json"), "{\"schema\": \"mystery/v9\"}").unwrap();
+
+    let out = compstat(&["validate", dir.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    // Both failures are named with per-file reasons, and the summary
+    // counts them against the total.
+    assert!(err.contains("aa-truncated.json"), "{err}");
+    assert!(err.contains("JSON parse error"), "{err}");
+    assert!(err.contains("zz-mystery.json"), "{err}");
+    assert!(err.contains("unknown schema"), "{err}");
+    assert!(err.contains("2 of 4 document(s) invalid"), "{err}");
+}
+
+/// Reads, mutates, and rewrites one report's first metric value.
+fn perturb_first_metric(path: &Path, factor: f64) -> (String, f64, f64) {
+    let text = std::fs::read_to_string(path).unwrap();
+    let doc = Json::parse(&text).unwrap();
+    let (key, old) = match doc.get("metrics") {
+        Some(Json::Obj(pairs)) if !pairs.is_empty() => (
+            pairs[0].0.clone(),
+            pairs[0].1.as_f64().expect("metric is numeric"),
+        ),
+        other => panic!("report has no metrics to perturb: {other:?}"),
+    };
+    let new = old * factor;
+    let rebuilt = match doc {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| {
+                    if k == "metrics" {
+                        let Json::Obj(metrics) = v else {
+                            unreachable!()
+                        };
+                        let metrics = metrics
+                            .into_iter()
+                            .map(|(mk, mv)| {
+                                if mk == key {
+                                    (mk, Json::Num(new))
+                                } else {
+                                    (mk, mv)
+                                }
+                            })
+                            .collect();
+                        (k, Json::Obj(metrics))
+                    } else {
+                        (k, v)
+                    }
+                })
+                .collect(),
+        ),
+        _ => unreachable!(),
+    };
+    let mut bytes = rebuilt.to_json_string();
+    bytes.push('\n');
+    std::fs::write(path, bytes).unwrap();
+    (key, old, new)
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let path = entry.unwrap().path();
+        std::fs::copy(&path, to.join(path.file_name().unwrap())).unwrap();
+    }
+}
+
+#[test]
+fn diff_verdicts_map_onto_exit_codes() {
+    // Baseline: two quick experiments with metrics.
+    let base = tmp_dir("diff-base");
+    let out = compstat(&[
+        "run",
+        "fig01",
+        "tab02",
+        "--scale",
+        "quick",
+        "--out",
+        base.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Identical copy: exit 0, clean.
+    let same = tmp_dir("diff-same");
+    copy_dir(&base, &same);
+    let out = compstat(&["diff", base.to_str().unwrap(), same.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("status: clean"), "{text}");
+
+    // Perturb one metric in one report: exit 2, and the output names
+    // the experiment, the metric, both values, and the relative delta.
+    let worse = tmp_dir("diff-worse");
+    copy_dir(&base, &worse);
+    let (key, old, new) = perturb_first_metric(&worse.join("fig01.json"), 1.5);
+    let out = compstat(&["diff", base.to_str().unwrap(), worse.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains(&format!("fig01: metric '{key}'")), "{text}");
+    assert!(text.contains("status: violations"), "{text}");
+    assert!(text.contains("rel 5.000e-1"), "{text}");
+    assert!(
+        text.contains(&Json::Num(old).to_json_string())
+            && text.contains(&Json::Num(new).to_json_string()),
+        "{text}"
+    );
+
+    // The same perturbation under a generous tolerance: exit 1.
+    let tol = tmp_dir("diff-tol");
+    std::fs::create_dir_all(&tol).unwrap();
+    let tol_file = tol.join("tolerances.json");
+    std::fs::write(
+        &tol_file,
+        format!(
+            "{{\"schema\":\"compstat-tolerances/v1\",\"overrides\":{{\"{key}\":\"rel=0.51\"}}}}"
+        ),
+    )
+    .unwrap();
+    let out = compstat(&[
+        "diff",
+        base.to_str().unwrap(),
+        worse.to_str().unwrap(),
+        "--tolerances",
+        tol_file.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("status: within-tolerance"), "{text}");
+
+    // --json emits a parseable compstat-diff/v1 document carrying the
+    // same verdict and change.
+    let out = compstat(&[
+        "diff",
+        base.to_str().unwrap(),
+        worse.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let doc = Json::parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("schema").unwrap().as_str(),
+        Some("compstat-diff/v1")
+    );
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("violations"));
+    assert_eq!(doc.get("violations").unwrap().as_f64(), Some(1.0));
+    let changes = doc.get("changes").unwrap().as_arr().unwrap();
+    assert_eq!(changes.len(), 1);
+    assert_eq!(
+        changes[0].get("experiment").unwrap().as_str(),
+        Some("fig01")
+    );
+    let rel = changes[0].get("rel").unwrap().as_f64().unwrap();
+    assert!((rel - 0.5).abs() < 1e-9, "rel {rel}");
+}
+
+#[test]
+fn diff_detects_added_and_removed_experiments() {
+    let small = tmp_dir("diff-small");
+    let big = tmp_dir("diff-big");
+    for (names, dir) in [(&["tab01"][..], &small), (&["tab01", "tab02"][..], &big)] {
+        let mut args = vec!["run"];
+        args.extend(names);
+        args.extend(["--scale", "quick", "--out", dir.to_str().unwrap()]);
+        assert!(compstat(&args).status.success());
+    }
+    let out = compstat(&["diff", small.to_str().unwrap(), big.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("added:   tab02"), "{text}");
+
+    let out = compstat(&["diff", big.to_str().unwrap(), small.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("removed: tab02"), "{text}");
+}
+
+#[test]
+fn diff_errors_exit_3_with_clear_messages() {
+    let good = tmp_dir("diff-good");
+    let out = compstat(&[
+        "run",
+        "tab01",
+        "--scale",
+        "quick",
+        "--out",
+        good.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // Missing index.json (empty directory): clear error, no panic.
+    let empty = tmp_dir("diff-empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = compstat(&["diff", good.to_str().unwrap(), empty.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read index"), "{err}");
+
+    // Corrupt index.json.
+    let corrupt = tmp_dir("diff-corrupt");
+    copy_dir(&good, &corrupt);
+    std::fs::write(corrupt.join("index.json"), "{\"schema\": ").unwrap();
+    let out = compstat(&["diff", good.to_str().unwrap(), corrupt.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("index.json"));
+
+    // Unreadable tolerance file.
+    let out = compstat(&[
+        "diff",
+        good.to_str().unwrap(),
+        good.to_str().unwrap(),
+        "--tolerances",
+        empty.join("nope.json").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(3));
+
+    // Usage errors share the trouble code, keeping 0/1/2 as verdicts.
+    for args in [
+        &["diff"][..],
+        &["diff", "one-dir-only"],
+        &["diff", "a", "b", "c"],
+        &["diff", "a", "b", "--bogus"],
+    ] {
+        let out = compstat(args);
+        assert_eq!(out.status.code(), Some(3), "args {args:?}");
+    }
+}
+
+#[test]
 fn validate_recurses_into_nested_report_directories() {
     // Sharded runs nest report directories; validate must find them.
     let root = tmp_dir("reports-nested");

@@ -271,6 +271,12 @@ impl Parser<'_> {
         loop {
             self.skip_ws();
             let key = self.string()?;
+            // Duplicate keys would make `get` lookups ambiguous and
+            // let two different documents serialize identically — the
+            // strict parser refuses them.
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate key {key:?} in object")));
+            }
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
@@ -507,6 +513,8 @@ mod tests {
             "01",
             "[007.5]",
             "-01",
+            "{\"a\":1,\"a\":2}",
+            "{\"a\":{\"b\":1,\"b\":1}}",
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }

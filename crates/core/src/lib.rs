@@ -24,7 +24,9 @@
 //!   (run any registered experiment at any [`Scale`] on any thread
 //!   count);
 //! * [`json`] — the hand-rolled JSON writer/parser behind `--out`
-//!   report emission and validation.
+//!   report emission and validation;
+//! * [`diff`] — tolerance-aware report diffing (the `compstat diff`
+//!   accuracy regression gate).
 //!
 //! # Examples
 //!
@@ -52,6 +54,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod accuracy;
+pub mod diff;
 pub mod error;
 pub mod experiment;
 pub mod json;
@@ -62,9 +65,13 @@ pub mod statfloat;
 pub mod stats;
 
 pub use accuracy::{figure3_buckets, figure9_buckets, ExponentBucket, OpKind};
+pub use diff::{
+    diff_dirs, diff_reports, diff_sets, load_report_dir, DiffReport, DiffStatus, ParsedReport,
+    Tolerance, TolerancePolicy,
+};
 pub use error::{relative_error, ErrorClass, ErrorMeasurement};
 pub use experiment::Experiment;
-pub use report::{Block, Report, REPORT_SCHEMA};
+pub use report::{Block, Report, INDEX_SCHEMA, REPORT_SCHEMA};
 pub use scale::Scale;
 pub use statfloat::{FormatKind, StatFloat, MEASURE_PREC};
 pub use stats::{BoxStats, Cdf};

@@ -135,6 +135,11 @@ pub struct Report {
 /// The schema identifier stamped into every report document.
 pub const REPORT_SCHEMA: &str = "compstat-report/v1";
 
+/// The schema identifier of the `index.json` summary `compstat run
+/// --out` writes next to the reports (consumed by
+/// [`crate::diff::load_report_dir`] and `compstat validate`).
+pub const INDEX_SCHEMA: &str = "compstat-index/v1";
+
 impl Report {
     /// Starts an empty report.
     #[must_use]
@@ -150,14 +155,35 @@ impl Report {
     }
 
     /// Records a named parameter (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a repeated key: the strict JSON parser (which every
+    /// emitted report must survive — `validate`, `diff`, the golden
+    /// gate) rejects duplicate object keys, so the writer refuses to
+    /// produce them.
     #[must_use]
     pub fn param(mut self, key: &'static str, value: impl ToString) -> Report {
+        assert!(
+            !self.params.iter().any(|(k, _)| *k == key),
+            "duplicate param key {key:?} in report {:?}",
+            self.name
+        );
         self.params.push((key, value.to_string()));
         self
     }
 
     /// Records a named scalar metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a repeated key (see [`Report::param`]).
     pub fn metric(&mut self, key: &'static str, value: f64) {
+        assert!(
+            !self.metrics.iter().any(|(k, _)| *k == key),
+            "duplicate metric key {key:?} in report {:?}",
+            self.name
+        );
         self.metrics.push((key, value));
     }
 
@@ -341,6 +367,24 @@ mod tests {
         let text = r.render_text();
         assert!(text.starts_with("k  v\n"), "{text}");
         assert!(text.ends_with("\nnote line\n"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate param key")]
+    fn duplicate_param_keys_are_refused_at_build_time() {
+        // The strict parser rejects duplicate object keys, so the
+        // writer must never produce them.
+        let _ = Report::new("demo", "Demo", Scale::Quick)
+            .param("samples", 1usize)
+            .param("samples", 2usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric key")]
+    fn duplicate_metric_keys_are_refused_at_build_time() {
+        let mut r = Report::new("demo", "Demo", Scale::Quick);
+        r.metric("median", 1.0);
+        r.metric("median", 2.0);
     }
 
     #[test]
