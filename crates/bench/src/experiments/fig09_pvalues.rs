@@ -4,6 +4,7 @@
 use crate::Scale;
 use compstat_bigfloat::{BigFloat, Context};
 use compstat_core::accuracy::figure9_buckets;
+use compstat_core::cache::{CacheKey, OracleCache};
 use compstat_core::report::{fmt_f64, Report, Table};
 use compstat_core::{BoxStats, ErrorClass, ErrorMeasurement, StatFloat};
 use compstat_logspace::LogF64;
@@ -39,6 +40,36 @@ pub const FORMATS: [&str; 5] = [
 #[must_use]
 pub fn evaluate_corpus(columns: &[Column], ctx: &Context, rt: &Runtime) -> Vec<ColumnEval> {
     let oracles = compstat_pbd::batch::oracle_pvalues(columns, ctx, rt);
+    measure_against_oracles(columns, &oracles, ctx, rt)
+}
+
+/// [`evaluate_corpus`] with the oracle sweep behind the persistent
+/// cache ([`compstat_pbd::batch::oracle_pvalues_cached`]): with a warm
+/// cache the dominant 256-bit pass is skipped entirely, and either way
+/// the evaluations are bit-for-bit the uncached ones. The per-format
+/// error measurements always recompute (they are the cheap part and
+/// depend on every format kernel under study).
+#[must_use]
+pub fn evaluate_corpus_cached(
+    columns: &[Column],
+    ctx: &Context,
+    rt: &Runtime,
+    key: &CacheKey,
+) -> Vec<ColumnEval> {
+    let cache = OracleCache::from_runtime(rt);
+    let oracles = compstat_pbd::batch::oracle_pvalues_cached(columns, ctx, rt, &cache, key);
+    measure_against_oracles(columns, &oracles, ctx, rt)
+}
+
+/// The per-format measurement stage shared by the cached and uncached
+/// corpus evaluations.
+fn measure_against_oracles(
+    columns: &[Column],
+    oracles: &[BigFloat],
+    ctx: &Context,
+    rt: &Runtime,
+) -> Vec<ColumnEval> {
+    assert_eq!(columns.len(), oracles.len(), "one oracle per column");
     rt.par_map_index(columns.len(), |i| {
         let col = &columns[i];
         let oracle = &oracles[i];
@@ -61,11 +92,29 @@ fn measure_as<T: StatFloat>(col: &Column, oracle: &BigFloat, ctx: &Context) -> E
     compstat_core::error::measure(oracle, &pv, ctx)
 }
 
+/// Seed of the default accuracy corpus (shared by Figures 9 and 11).
+pub const CORPUS_SEED: u64 = 20_260_610;
+
 /// Builds the default accuracy corpus for the given scale.
 #[must_use]
 pub fn corpus_for(scale: Scale) -> Vec<Column> {
     let count = scale.pick(40, 260, 2_000);
-    accuracy_corpus(20_260_610, count)
+    accuracy_corpus(CORPUS_SEED, count)
+}
+
+/// Cache key of the default corpus's oracle sweep at `scale`.
+///
+/// Figures 9 and 11 evaluate the *same* corpus, so they share this key
+/// deliberately: one cold fig09 run already warms fig11's oracle pass.
+#[must_use]
+pub fn corpus_cache_key(scale: Scale, columns: &[Column], ctx: &Context) -> CacheKey {
+    compstat_pbd::batch::oracle_cache_key(
+        "pbd-accuracy-corpus",
+        scale.as_str(),
+        CORPUS_SEED,
+        columns,
+        ctx,
+    )
 }
 
 /// Registry name of this experiment.
@@ -81,7 +130,8 @@ pub const TITLE: &str = "Figure 9: accuracy of final p-values by magnitude bucke
 pub fn report(scale: Scale, rt: &Runtime) -> Report {
     let ctx = Context::new(256);
     let corpus = corpus_for(scale);
-    let evals = evaluate_corpus(&corpus, &ctx, rt);
+    let key = corpus_cache_key(scale, &corpus, &ctx);
+    let evals = evaluate_corpus_cached(&corpus, &ctx, rt, &key);
     let buckets = figure9_buckets();
 
     let mut t = Table::new(vec![

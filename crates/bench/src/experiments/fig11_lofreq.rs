@@ -1,7 +1,9 @@
 //! Figure 11: CDFs of final p-value relative error in LoFreq, split into
 //! critical (p < 2^-200) and non-critical columns.
 
-use crate::experiments::fig09_pvalues::{corpus_for, evaluate_corpus, FORMATS};
+use crate::experiments::fig09_pvalues::{
+    corpus_cache_key, corpus_for, evaluate_corpus_cached, FORMATS,
+};
 use crate::Scale;
 use compstat_bigfloat::Context;
 use compstat_core::report::{fmt_f64, Report, Table};
@@ -23,7 +25,10 @@ pub const TITLE: &str =
 pub fn report(scale: Scale, rt: &Runtime) -> Report {
     let ctx = Context::new(256);
     let corpus = corpus_for(scale);
-    let evals = evaluate_corpus(&corpus, &ctx, rt);
+    // Same corpus, same key as fig09: a warm cache (or a cold run that
+    // already executed fig09) serves the oracle sweep from disk.
+    let key = corpus_cache_key(scale, &corpus, &ctx);
+    let evals = evaluate_corpus_cached(&corpus, &ctx, rt, &key);
 
     let mut r = Report::new(NAME, TITLE, scale).param("columns", corpus.len());
     for (panel, critical) in [
@@ -101,6 +106,7 @@ mod tests {
 
     #[test]
     fn critical_panel_shows_posit_advantage() {
+        use crate::experiments::fig09_pvalues::evaluate_corpus;
         let ctx = Context::new(256);
         let corpus = corpus_for(Scale::Quick);
         let evals = evaluate_corpus(&corpus, &ctx, &Runtime::from_env());

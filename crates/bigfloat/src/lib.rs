@@ -45,7 +45,9 @@ mod elementary;
 mod fmt;
 pub mod limb;
 mod repr;
+pub mod serial;
 
 pub use arith::Context;
 pub use elementary::ln2;
 pub use repr::{BigFloat, Kind, Sign, DEFAULT_PREC, MAX_PREC, MIN_PREC};
+pub use serial::{bit_identical, SerialError};

@@ -394,6 +394,28 @@ impl BigFloat {
             prec,
         }
     }
+
+    /// Exact reconstruction from already-validated parts — the
+    /// deserialization path ([`crate::serial`]). The caller must have
+    /// checked the invariants (`prec` in range; for `Normal`:
+    /// `ceil(prec/64)` limbs, top bit of the last limb set, bits below
+    /// the precision cleared); no normalization or rounding happens
+    /// here, so a round-trip is bit-exact.
+    pub(crate) fn from_parts_exact(
+        sign: Sign,
+        kind: Kind,
+        exp: i64,
+        limbs: Vec<u64>,
+        prec: u32,
+    ) -> BigFloat {
+        BigFloat {
+            sign,
+            kind,
+            exp,
+            limbs,
+            prec,
+        }
+    }
 }
 
 impl Default for BigFloat {

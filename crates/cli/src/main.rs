@@ -26,10 +26,11 @@
 //! registry access, so no `clap`.
 
 use compstat_bench::registry::{find, registry};
+use compstat_core::cache;
 use compstat_core::diff::{diff_dirs, TolerancePolicy};
 use compstat_core::json::Json;
 use compstat_core::{Report, Scale, INDEX_SCHEMA};
-use compstat_runtime::Runtime;
+use compstat_runtime::{CacheMode, Runtime};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -69,6 +70,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
         Some("help" | "--help" | "-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -87,9 +89,10 @@ compstat — run the paper's experiments through the unified engine
 USAGE:
     compstat list
     compstat run <name>... | --all [--scale quick|default|paper]
-                 [--threads N] [--out DIR]
+                 [--threads N] [--out DIR] [--no-cache]
     compstat diff <baseline-dir> <new-dir> [--tolerances FILE] [--json]
     compstat validate <dir-or-file>...
+    compstat cache stats | clear
     compstat help
 
 COMMANDS:
@@ -101,6 +104,9 @@ COMMANDS:
                 violations or added/removed experiments, 3 on errors
     validate    Parse every .json report under the given paths; report
                 every malformed document with its reason
+    cache       Inspect (`stats`) or empty (`clear`) the persistent
+                oracle cache ($COMPSTAT_CACHE_DIR, default
+                .compstat-cache/)
 
 OPTIONS (run):
     --all           Run every registered experiment, in registry order
@@ -109,6 +115,9 @@ OPTIONS (run):
     --threads N     Worker threads (default: $COMPSTAT_THREADS or all
                     cores; emitted bytes are identical for every N)
     --out DIR       Write JSON reports to DIR instead of printing text
+    --no-cache      Recompute every oracle sweep, bypassing the cache
+                    (reports are byte-identical either way; also
+                    available as COMPSTAT_CACHE=off)
 
 OPTIONS (diff):
     --tolerances F  Load a compstat-tolerances/v1 JSON policy file
@@ -139,6 +148,7 @@ struct RunArgs {
     scale: Scale,
     threads: Option<usize>,
     out: Option<PathBuf>,
+    no_cache: bool,
 }
 
 fn parse_run_args(rest: &[String]) -> Result<RunArgs, String> {
@@ -148,6 +158,7 @@ fn parse_run_args(rest: &[String]) -> Result<RunArgs, String> {
         scale: Scale::from_env(),
         threads: None,
         out: None,
+        no_cache: false,
     };
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -158,6 +169,7 @@ fn parse_run_args(rest: &[String]) -> Result<RunArgs, String> {
         };
         match arg.as_str() {
             "--all" => parsed.all = true,
+            "--no-cache" => parsed.no_cache = true,
             "--scale" => {
                 let v = value_of("--scale")?;
                 parsed.scale = Scale::parse(&v)
@@ -168,6 +180,14 @@ fn parse_run_args(rest: &[String]) -> Result<RunArgs, String> {
                 let n: usize = v
                     .parse()
                     .map_err(|_| format!("--threads needs a number, got {v:?}"))?;
+                // Same cap as COMPSTAT_THREADS: a count this large is
+                // always a unit mix-up, not a real thread budget.
+                if n > compstat_runtime::MAX_THREADS {
+                    return Err(format!(
+                        "--threads {n} exceeds the {}-thread cap",
+                        compstat_runtime::MAX_THREADS
+                    ));
+                }
                 parsed.threads = Some(n);
             }
             "--out" => parsed.out = Some(PathBuf::from(value_of("--out")?)),
@@ -211,8 +231,26 @@ fn cmd_run(rest: &[String]) -> ExitCode {
 
     let rt = match parsed.threads {
         Some(n) => Runtime::with_threads(n),
-        None => Runtime::from_env(),
+        // Unlike library callers (which warn and fall back), the CLI
+        // treats a bad COMPSTAT_THREADS as the usage error it is.
+        None => match Runtime::try_from_env() {
+            Ok(rt) => rt,
+            Err(e) => {
+                eprintln!("compstat run: {e}");
+                return ExitCode::from(2);
+            }
+        },
     };
+    // `compstat run` caches oracle sweeps by default; `--no-cache` (or
+    // COMPSTAT_CACHE=off) forces recomputation. Reports are
+    // byte-identical either way — that is the gate CI enforces.
+    let cache_mode = if parsed.no_cache {
+        CacheMode::Off
+    } else {
+        CacheMode::from_env_or(CacheMode::ReadWrite)
+    };
+    let rt = rt.with_cache_mode(cache_mode);
+    let stats_before = cache::global_stats();
 
     if let Some(dir) = &parsed.out {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -227,8 +265,10 @@ fn cmd_run(rest: &[String]) -> ExitCode {
         let report = e.run(&rt, parsed.scale);
         match &parsed.out {
             Some(dir) => {
+                // Temp-file + rename: an interrupted run leaves no
+                // truncated report for `load_report_dir` to choke on.
                 let path = dir.join(format!("{}.json", report.name));
-                if let Err(err) = std::fs::write(&path, report.to_json_string()) {
+                if let Err(err) = cache::write_atomic(&path, report.to_json_string().as_bytes()) {
                     eprintln!("compstat run: cannot write {}: {err}", path.display());
                     return ExitCode::FAILURE;
                 }
@@ -251,11 +291,14 @@ fn cmd_run(rest: &[String]) -> ExitCode {
     }
 
     if let Some(dir) = &parsed.out {
+        // index.json is written last (and atomically): its presence
+        // marks a complete report directory, so a half-written run can
+        // never half-load.
         let index = index_json(parsed.scale, &reports);
         let path = dir.join("index.json");
         let mut bytes = index.to_json_string();
         bytes.push('\n');
-        if let Err(err) = std::fs::write(&path, bytes) {
+        if let Err(err) = cache::write_atomic(&path, bytes.as_bytes()) {
             eprintln!("compstat run: cannot write {}: {err}", path.display());
             return ExitCode::FAILURE;
         }
@@ -265,6 +308,35 @@ fn cmd_run(rest: &[String]) -> ExitCode {
             reports.len(),
             if reports.len() == 1 { "" } else { "s" }
         );
+    }
+
+    if cache_mode != CacheMode::Off {
+        let after = cache::global_stats();
+        let run = cache::CacheStats {
+            hits: after.hits - stats_before.hits,
+            misses: after.misses - stats_before.misses,
+            writes: after.writes - stats_before.writes,
+            errors: after.errors - stats_before.errors,
+        };
+        let dir = cache::default_dir();
+        // A run of cache-free experiments should not create the cache
+        // directory just to record zeros.
+        if run != cache::CacheStats::default() || dir.is_dir() {
+            eprintln!(
+                "oracle cache: {} hit(s), {} miss(es), {} write(s), {} error(s) in {}",
+                run.hits,
+                run.misses,
+                run.writes,
+                run.errors,
+                dir.display()
+            );
+            if let Err(e) = cache::record_run_stats(&dir, &run) {
+                eprintln!(
+                    "compstat run: warning: cannot update {}: {e}",
+                    dir.join("stats.json").display()
+                );
+            }
+        }
     }
     ExitCode::SUCCESS
 }
@@ -364,6 +436,134 @@ fn cmd_diff(rest: &[String]) -> ExitCode {
         return ExitCode::from(DIFF_TROUBLE);
     }
     ExitCode::from(report.status().exit_code())
+}
+
+fn cmd_cache(rest: &[String]) -> ExitCode {
+    match rest {
+        [action] if action == "stats" => cmd_cache_stats(),
+        [action] if action == "clear" => cmd_cache_clear(),
+        _ => {
+            eprintln!("compstat cache: pass exactly one of `stats` or `clear`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Collects the cache directory's entry files (`*.bfc`), non-recursive
+/// — the store is flat by construction.
+fn cache_entries(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_file() && path.extension().is_some_and(|e| e == cache::CACHE_FILE_EXT) {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn cmd_cache_stats() -> ExitCode {
+    let dir = cache::default_dir();
+    let mut text = format!("cache directory: {}\n", dir.display());
+    if !dir.is_dir() {
+        text.push_str("entries: 0 (directory does not exist yet)\n");
+        return match emit(&text) {
+            Emit::Failed => ExitCode::FAILURE,
+            _ => ExitCode::SUCCESS,
+        };
+    }
+    let entries = match cache_entries(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("compstat cache: cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let bytes: u64 = entries
+        .iter()
+        .filter_map(|p| std::fs::metadata(p).ok())
+        .map(|m| m.len())
+        .sum();
+    text.push_str(&format!("entries: {} ({} bytes)\n", entries.len(), bytes));
+    match cache::load_stats_file(&dir) {
+        Some((last, total)) => {
+            let line = |s: &cache::CacheStats| {
+                format!(
+                    "{} hit(s), {} miss(es), {} write(s), {} error(s)",
+                    s.hits, s.misses, s.writes, s.errors
+                )
+            };
+            text.push_str(&format!("last run: {}\n", line(&last)));
+            text.push_str(&format!("total:    {}\n", line(&total)));
+        }
+        None => text.push_str("no run statistics recorded yet\n"),
+    }
+    match emit(&text) {
+        Emit::Failed => ExitCode::FAILURE,
+        _ => ExitCode::SUCCESS,
+    }
+}
+
+fn cmd_cache_clear() -> ExitCode {
+    let dir = cache::default_dir();
+    if !dir.is_dir() {
+        return match emit("cache is already empty\n") {
+            Emit::Failed => ExitCode::FAILURE,
+            _ => ExitCode::SUCCESS,
+        };
+    }
+    let entries = match cache_entries(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("compstat cache: cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // A run killed mid-write leaves `.<name>.tmp-<pid>` files behind;
+    // clear owns those too, or they would accumulate invisibly
+    // (`cache stats` only counts real entries).
+    let orphans: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(iter) => iter
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.is_file()
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with('.') && n.contains(".tmp-"))
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    let mut removed = 0usize;
+    let mut failed = 0usize;
+    // Remove only what the cache owns (entries, stats.json, and its
+    // own temp droppings), never the directory wholesale —
+    // COMPSTAT_CACHE_DIR may point anywhere.
+    for path in entries
+        .iter()
+        .chain(std::iter::once(&dir.join("stats.json")))
+        .chain(orphans.iter())
+    {
+        match std::fs::remove_file(path) {
+            Ok(()) => removed += 1,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                eprintln!("compstat cache: cannot remove {}: {e}", path.display());
+                failed += 1;
+            }
+        }
+    }
+    if failed > 0 {
+        return ExitCode::FAILURE;
+    }
+    match emit(&format!(
+        "removed {removed} file(s) from {}\n",
+        dir.display()
+    )) {
+        Emit::Failed => ExitCode::FAILURE,
+        _ => ExitCode::SUCCESS,
+    }
 }
 
 fn cmd_validate(rest: &[String]) -> ExitCode {
@@ -504,6 +704,10 @@ mod tests {
         assert_eq!(p.scale, Scale::Quick);
         assert_eq!(p.threads, Some(4));
         assert_eq!(p.out.as_deref(), Some(Path::new("reports")));
+        assert!(!p.no_cache);
+
+        let p = parse_run_args(&strings(&["--all", "--no-cache"])).unwrap();
+        assert!(p.no_cache);
     }
 
     #[test]

@@ -8,11 +8,30 @@ use compstat_core::json::Json;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 
+/// Runs the binary with the oracle cache pinned to a shared directory
+/// under the target tmpdir, so tests never write `.compstat-cache/`
+/// into the source tree (concurrent tests may share it — cache writes
+/// are atomic and content-addressed, so races are harmless).
 fn compstat(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_compstat"))
-        .args(args)
-        .output()
-        .expect("compstat binary runs")
+    compstat_env(args, &[])
+}
+
+fn compstat_env(args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_compstat"));
+    // Scrub every COMPSTAT_* knob the developer may have exported —
+    // an ambient COMPSTAT_CACHE=off or COMPSTAT_THREADS=garbage must
+    // not change what these tests assert.
+    for knob in ["COMPSTAT_CACHE", "COMPSTAT_THREADS", "COMPSTAT_SCALE"] {
+        cmd.env_remove(knob);
+    }
+    cmd.args(args).env(
+        "COMPSTAT_CACHE_DIR",
+        Path::new(env!("CARGO_TARGET_TMPDIR")).join("shared-oracle-cache"),
+    );
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("compstat binary runs")
 }
 
 fn tmp_dir(name: &str) -> PathBuf {
@@ -422,6 +441,180 @@ fn validate_recurses_into_nested_report_directories() {
     assert!(String::from_utf8(out.stdout)
         .unwrap()
         .contains("2 document(s) valid"));
+}
+
+#[test]
+fn cache_cold_warm_and_no_cache_runs_are_byte_identical() {
+    // The oracle-cache acceptance story end to end, on the three
+    // cached experiments: a cold-cache run, a warm-cache run, and a
+    // --no-cache run must emit byte-identical reports; the warm run
+    // must actually hit; `cache stats` and `cache clear` must see it
+    // all.
+    let cache_dir = tmp_dir("oracle-cache-private");
+    let env: Vec<(&str, &str)> = vec![("COMPSTAT_CACHE_DIR", cache_dir.to_str().unwrap())];
+    let names = ["fig09", "fig10", "fig11"];
+
+    let run = |out: &Path, extra: &[&str]| {
+        let mut args = vec!["run"];
+        args.extend(names);
+        args.extend([
+            "--scale",
+            "quick",
+            "--threads",
+            "2",
+            "--out",
+            out.to_str().unwrap(),
+        ]);
+        args.extend(extra);
+        let got = compstat_env(&args, &env);
+        assert!(
+            got.status.success(),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&got.stderr)
+        );
+        String::from_utf8_lossy(&got.stderr).into_owned()
+    };
+
+    let cold_dir = tmp_dir("cache-cold");
+    let warm_dir = tmp_dir("cache-warm");
+    let off_dir = tmp_dir("cache-off");
+    let cold_log = run(&cold_dir, &[]);
+    assert!(cold_log.contains("oracle cache:"), "{cold_log}");
+    let warm_log = run(&warm_dir, &[]);
+    let off_log = run(&off_dir, &["--no-cache"]);
+    assert!(
+        !off_log.contains("oracle cache:"),
+        "--no-cache must not report cache activity:\n{off_log}"
+    );
+
+    // Byte-for-byte identical across all three modes.
+    let files: Vec<String> = names
+        .iter()
+        .map(|n| format!("{n}.json"))
+        .chain(std::iter::once("index.json".to_string()))
+        .collect();
+    for file in &files {
+        let cold = std::fs::read(cold_dir.join(file)).unwrap();
+        assert_eq!(
+            cold,
+            std::fs::read(warm_dir.join(file)).unwrap(),
+            "{file}: cold vs warm"
+        );
+        assert_eq!(
+            cold,
+            std::fs::read(off_dir.join(file)).unwrap(),
+            "{file}: cold vs --no-cache"
+        );
+    }
+    // Atomic writes leave no temp droppings behind.
+    for dir in [&cold_dir, &warm_dir, &off_dir, &cache_dir] {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let name = entry.unwrap().file_name().into_string().unwrap();
+            assert!(
+                !name.contains(".tmp-"),
+                "leftover temp file {name} in {dir:?}"
+            );
+        }
+    }
+
+    // The warm run hit on every oracle sweep: fig09+fig11 share the
+    // corpus key, fig10 has two (one per sequence length), so cold =
+    // 3 misses / 1 hit (fig11 reuses fig09's entry) and warm = 4 hits.
+    assert!(warm_log.contains("4 hit(s), 0 miss(es)"), "{warm_log}");
+    let stats = compstat_env(&["cache", "stats"], &env);
+    assert!(stats.status.success());
+    let stats_text = String::from_utf8(stats.stdout).unwrap();
+    assert!(stats_text.contains("entries: 3"), "{stats_text}");
+    assert!(
+        stats_text.contains("last run: 4 hit(s), 0 miss(es)"),
+        "{stats_text}"
+    );
+
+    // clear empties the store and stats; a fresh run is cold again.
+    let cleared = compstat_env(&["cache", "clear"], &env);
+    assert!(cleared.status.success());
+    let stats_text = String::from_utf8(compstat_env(&["cache", "stats"], &env).stdout).unwrap();
+    assert!(stats_text.contains("entries: 0"), "{stats_text}");
+
+    // Corruption recovery end to end: rebuild the cache, tamper with
+    // every entry, and re-run — reports stay byte-identical and the
+    // entries are rewritten.
+    let rebuilt = run(&tmp_dir("cache-rebuild"), &[]);
+    assert!(rebuilt.contains("3 miss(es)"), "{rebuilt}");
+    let mut tampered = 0;
+    for entry in std::fs::read_dir(&cache_dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "bfc") {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            std::fs::write(&path, bytes).unwrap();
+            tampered += 1;
+        }
+    }
+    assert_eq!(tampered, 3);
+    let recovered_dir = tmp_dir("cache-recovered");
+    let recovered_log = run(&recovered_dir, &[]);
+    assert!(
+        recovered_log.contains("discarding corrupt cache entry"),
+        "{recovered_log}"
+    );
+    for file in &files {
+        assert_eq!(
+            std::fs::read(cold_dir.join(file)).unwrap(),
+            std::fs::read(recovered_dir.join(file)).unwrap(),
+            "{file}: corrupt-cache run must recompute identical bytes"
+        );
+    }
+
+    let usage = compstat_env(&["cache", "frobnicate"], &env);
+    assert_eq!(usage.status.code(), Some(2));
+}
+
+#[test]
+fn unrecognized_compstat_cache_value_warns_instead_of_silently_defaulting() {
+    let out = compstat_env(
+        &["run", "tab01", "--scale", "quick"],
+        &[("COMPSTAT_CACHE", "OFFF")],
+    );
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("COMPSTAT_CACHE"), "{err}");
+    assert!(err.contains("OFFF"), "{err}");
+    // Case-insensitive spellings are accepted silently.
+    let out = compstat_env(
+        &["run", "tab01", "--scale", "quick"],
+        &[("COMPSTAT_CACHE", "OFF")],
+    );
+    assert!(out.status.success());
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("warning"),
+        "OFF must parse case-insensitively"
+    );
+}
+
+#[test]
+fn bad_compstat_threads_env_is_a_clear_error_not_a_silent_fallback() {
+    for bad in ["abc", "-1", "999999999999"] {
+        let out = compstat_env(
+            &["run", "tab01", "--scale", "quick"],
+            &[("COMPSTAT_THREADS", bad)],
+        );
+        assert_eq!(out.status.code(), Some(2), "COMPSTAT_THREADS={bad}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("COMPSTAT_THREADS"), "{err}");
+        assert!(err.contains(bad), "{err}");
+    }
+    // Empty is the documented "treat as unset" convenience.
+    let out = compstat_env(
+        &["run", "tab01", "--scale", "quick"],
+        &[("COMPSTAT_THREADS", "")],
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]

@@ -709,17 +709,43 @@ struct ChangeBuilder<'p> {
 impl ChangeBuilder<'_> {
     /// Records a changed value pair, computing deltas and classifying
     /// against the looked-up tolerance. Call only when `old != new`.
+    ///
+    /// NaN/inf semantics (byte-different spellings only — byte-equal
+    /// cells never reach here):
+    ///
+    /// * NaN vs NaN is *not a change*: both documents agree the value
+    ///   is undefined, so differing spellings (`nan` vs `NaN`) stay
+    ///   clean under every tolerance, `exact` included;
+    /// * NaN vs number carries no deltas (`null` in the JSON), so it
+    ///   violates `exact`/`abs`/`rel` and only `any` admits it;
+    /// * numerically equal values (`inf` vs `inf`, `0` vs `0.0`) get
+    ///   zero deltas rather than the NaN that naive `inf - inf`
+    ///   arithmetic would produce — byte drift still violates `exact`,
+    ///   but `abs`/`rel` correctly see no numeric movement;
+    /// * an infinite baseline or an infinite difference yields an
+    ///   infinite `rel` delta (never NaN), which violates every finite
+    ///   bound.
     fn changed(&mut self, location: String, key: &str, old: String, new: String) {
         let tolerance = self.policy.lookup(&self.experiment, key);
-        let deltas = match (numeric(&old), numeric(&new)) {
+        let nums = (numeric(&old), numeric(&new));
+        if let (Some(a), Some(b)) = nums {
+            if a.is_nan() && b.is_nan() {
+                return;
+            }
+        }
+        let deltas = match nums {
+            (Some(a), Some(b)) if a.is_nan() || b.is_nan() => None,
+            (Some(a), Some(b)) if a == b => Some((0.0, 0.0)),
             (Some(a), Some(b)) => {
                 let abs = (b - a).abs();
-                let rel = if a != 0.0 {
-                    abs / a.abs()
-                } else if b == 0.0 {
-                    0.0
-                } else {
+                let rel = if a == 0.0 {
                     f64::INFINITY
+                } else if a.is_infinite() || abs.is_infinite() {
+                    // inf baselines / inf differences: the relative
+                    // delta is unbounded, not NaN-poisoned.
+                    f64::INFINITY
+                } else {
+                    abs / a.abs()
                 };
                 Some((abs, rel))
             }
@@ -1279,6 +1305,117 @@ mod tests {
             &TolerancePolicy::exact(),
         );
         assert!(d.changes.iter().any(|c| c.location == "baseline set"));
+    }
+
+    /// Diffs two single-cell tables holding `old` and `new` and returns
+    /// the recorded changes.
+    fn diff_cells(old: &str, new: &str, policy: &TolerancePolicy) -> Vec<Change> {
+        let cell = |v: &str| {
+            let mut r = Report::new("demo", "Demo", Scale::Quick);
+            let mut t = Table::new(vec!["label".into(), "P".into()]);
+            t.row(vec!["row0".into(), v.into()]);
+            r.table(t);
+            ParsedReport::of(&r)
+        };
+        diff_reports(&cell(old), &cell(new), policy)
+    }
+
+    #[test]
+    fn nan_vs_nan_cells_are_clean_under_every_tolerance() {
+        // Byte-equal NaN spellings never record a change, and
+        // byte-*different* spellings of NaN agree the value is
+        // undefined — clean under exact, abs, and rel alike.
+        for policy in [
+            TolerancePolicy::exact(),
+            TolerancePolicy::exact().with("P", Tolerance::Abs(0.0)),
+            TolerancePolicy::exact().with("P", Tolerance::Rel(1e-12)),
+        ] {
+            for (a, b) in [("nan", "nan"), ("nan", "NaN"), ("NaN", "nan")] {
+                let changes = diff_cells(a, b, &policy);
+                assert!(changes.is_empty(), "{a} vs {b}: {changes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_vs_number_cells_violate_numeric_tolerances() {
+        for policy in [
+            TolerancePolicy::exact(),
+            TolerancePolicy::exact().with("P", Tolerance::Abs(1e9)),
+            TolerancePolicy::exact().with("P", Tolerance::Rel(1e9)),
+        ] {
+            for (a, b) in [("nan", "0.5"), ("0.5", "nan"), ("-", "0.5"), ("nan", "inf")] {
+                let changes = diff_cells(a, b, &policy);
+                assert_eq!(changes.len(), 1, "{a} vs {b}");
+                assert_eq!(changes[0].class, DiffClass::Violation, "{a} vs {b}");
+                // No NaN-poisoned deltas: non-comparable pairs carry
+                // none at all.
+                assert_eq!(changes[0].abs, None, "{a} vs {b}");
+                assert_eq!(changes[0].rel, None, "{a} vs {b}");
+            }
+        }
+        // Only `any` admits replacing a NaN with a number.
+        let any = TolerancePolicy::exact().with("P", Tolerance::Any);
+        assert_eq!(
+            diff_cells("nan", "0.5", &any)[0].class,
+            DiffClass::WithinTolerance
+        );
+    }
+
+    #[test]
+    fn inf_pairings_yield_infinite_not_nan_deltas() {
+        // Same infinity, different spelling: zero numeric movement —
+        // abs/rel admit it, exact still flags the byte drift.
+        let abs_pol = TolerancePolicy::exact().with("P", Tolerance::Abs(0.0));
+        let changes = diff_cells("inf", "+inf", &abs_pol);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].abs, Some(0.0));
+        assert_eq!(changes[0].class, DiffClass::WithinTolerance);
+        assert_eq!(
+            diff_cells("inf", "+inf", &TolerancePolicy::exact())[0].class,
+            DiffClass::Violation
+        );
+
+        // Opposite infinities and inf-vs-finite: infinite deltas (never
+        // NaN), violating every finite bound.
+        let rel_pol = TolerancePolicy::exact().with("P", Tolerance::Rel(1e300));
+        for (a, b) in [
+            ("inf", "-inf"),
+            ("inf", "1000"),
+            ("1000", "inf"),
+            ("-inf", "0.5"),
+        ] {
+            let changes = diff_cells(a, b, &rel_pol);
+            assert_eq!(changes.len(), 1, "{a} vs {b}");
+            let rel = changes[0].rel.expect("numeric pair has a rel delta");
+            assert!(
+                rel.is_infinite() && rel > 0.0,
+                "{a} vs {b}: rel {rel} must be +inf, not NaN"
+            );
+            assert!(!changes[0].abs.unwrap().is_nan(), "{a} vs {b}");
+            assert_eq!(changes[0].class, DiffClass::Violation, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn nan_metrics_follow_the_same_semantics() {
+        // Non-finite metrics serialize as null and parse back as NaN:
+        // NaN vs NaN is clean, NaN vs number is a violation.
+        let mut old = parsed();
+        old.metrics[0].1 = f64::NAN;
+        let mut new = parsed();
+        new.metrics[0].1 = f64::NAN;
+        assert!(diff_reports(&old, &new, &TolerancePolicy::exact()).is_empty());
+        new.metrics[0].1 = 5.82;
+        let changes = diff_reports(&old, &new, &TolerancePolicy::exact());
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].class, DiffClass::Violation);
+        let tol = TolerancePolicy::exact().with("median", Tolerance::Rel(1e9));
+        assert_eq!(
+            diff_reports(&old, &new, &tol)[0].class,
+            DiffClass::Violation,
+            "NaN -> number must not slip through a rel tolerance"
+        );
     }
 
     #[test]

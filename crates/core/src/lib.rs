@@ -26,7 +26,9 @@
 //! * [`json`] — the hand-rolled JSON writer/parser behind `--out`
 //!   report emission and validation;
 //! * [`diff`] — tolerance-aware report diffing (the `compstat diff`
-//!   accuracy regression gate).
+//!   accuracy regression gate);
+//! * [`cache`] — the content-addressed store that persists 256-bit
+//!   oracle sweeps across runs (`.compstat-cache/`, `--no-cache`).
 //!
 //! # Examples
 //!
@@ -54,6 +56,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod accuracy;
+pub mod cache;
 pub mod diff;
 pub mod error;
 pub mod experiment;
@@ -65,6 +68,7 @@ pub mod statfloat;
 pub mod stats;
 
 pub use accuracy::{figure3_buckets, figure9_buckets, ExponentBucket, OpKind};
+pub use cache::{CacheKey, CacheStats, OracleCache};
 pub use diff::{
     diff_dirs, diff_reports, diff_sets, load_report_dir, DiffReport, DiffStatus, ParsedReport,
     Tolerance, TolerancePolicy,

@@ -11,9 +11,17 @@
 use crate::forward::{forward, forward_log, forward_oracle};
 use crate::model::{Hmm, PreparedHmm};
 use compstat_bigfloat::{BigFloat, Context};
+use compstat_core::cache::{sha256_hex, CacheKey, OracleCache};
 use compstat_core::StatFloat;
 use compstat_logspace::LogF64;
 use compstat_runtime::Runtime;
+
+/// Version tag of the HMM oracle forward kernel, hashed into every
+/// oracle cache key. **Bump this whenever [`forward_oracle`] (or the
+/// BigFloat arithmetic behind it) changes its exact bits**, or stale
+/// cache entries will be served; the cold-cache CI leg backstops a
+/// forgotten bump.
+pub const ORACLE_KERNEL_TAG: &str = "hmm-forward-oracle/v1";
 
 /// Runs [`forward`] over every sequence in `batch`, in parallel.
 ///
@@ -51,6 +59,77 @@ where
     S: AsRef<[usize]> + Sync,
 {
     rt.par_map(batch, |obs| forward_oracle(model, obs.as_ref(), ctx))
+}
+
+/// Builds the cache key for [`forward_oracle_batch_cached`]: sweep
+/// provenance (`experiment`, `scale`, `seed`), the oracle precision,
+/// the kernel version tag, and a SHA-256 fingerprint of the model
+/// parameters and every observation sequence — so edits to model or
+/// data generation invalidate entries even without a seed change.
+#[must_use]
+pub fn forward_oracle_cache_key<S>(
+    experiment: &str,
+    scale: &str,
+    seed: u64,
+    model: &Hmm,
+    batch: &[S],
+    ctx: &Context,
+) -> CacheKey
+where
+    S: AsRef<[usize]>,
+{
+    let mut data = Vec::new();
+    let h = model.num_states();
+    let m = model.num_symbols();
+    data.extend_from_slice(&(h as u64).to_le_bytes());
+    data.extend_from_slice(&(m as u64).to_le_bytes());
+    for i in 0..h {
+        data.extend_from_slice(&model.pi(i).to_bits().to_le_bytes());
+        for j in 0..h {
+            data.extend_from_slice(&model.a(i, j).to_bits().to_le_bytes());
+        }
+        for o in 0..m {
+            data.extend_from_slice(&model.b(i, o).to_bits().to_le_bytes());
+        }
+    }
+    for obs in batch {
+        let obs = obs.as_ref();
+        data.extend_from_slice(&(obs.len() as u64).to_le_bytes());
+        for &sym in obs {
+            data.extend_from_slice(&(sym as u64).to_le_bytes());
+        }
+    }
+    CacheKey::new("hmm/forward-oracle")
+        .field("kernel", ORACLE_KERNEL_TAG)
+        .field("experiment", experiment)
+        .field("scale", scale)
+        .field("seed", seed)
+        .field("sequences", batch.len())
+        .field("prec", ctx.prec())
+        .field("inputs-sha256", sha256_hex(&data))
+}
+
+/// [`forward_oracle_batch`] behind the persistent oracle cache: a
+/// stored result for `key` is served (verified to hold one likelihood
+/// per sequence); otherwise the sweep runs through `rt` and the result
+/// is stored. Bit-for-bit identical to the uncached sweep either way,
+/// and exactly the uncached sweep under
+/// [`CacheMode::Off`](compstat_runtime::CacheMode).
+#[must_use]
+pub fn forward_oracle_batch_cached<S>(
+    model: &Hmm,
+    batch: &[S],
+    ctx: &Context,
+    rt: &Runtime,
+    cache: &OracleCache,
+    key: &CacheKey,
+) -> Vec<BigFloat>
+where
+    S: AsRef<[usize]> + Sync,
+{
+    cache.get_or_compute(key, batch.len(), || {
+        forward_oracle_batch(model, batch, ctx, rt)
+    })
 }
 
 #[cfg(test)]
@@ -115,6 +194,50 @@ mod tests {
         let par = forward_oracle_batch(&m, &batch, &ctx, &Runtime::with_threads(3));
         assert_eq!(serial, par);
         assert_eq!(serial.len(), 5);
+    }
+
+    #[test]
+    fn cached_oracle_batch_is_bit_identical_cold_warm_and_off() {
+        use compstat_bigfloat::bit_identical;
+        use compstat_runtime::CacheMode;
+        let m = toy();
+        let batch = sequences(4, 50);
+        let ctx = Context::new(256);
+        let rt = Runtime::serial();
+        let key = forward_oracle_cache_key("batch-test", "quick", 7, &m, &batch, &ctx);
+        let dir = std::env::temp_dir().join(format!("compstat-hmm-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let uncached = forward_oracle_batch(&m, &batch, &ctx, &rt);
+        let cache = OracleCache::new(&dir, CacheMode::ReadWrite);
+        let cold = forward_oracle_batch_cached(&m, &batch, &ctx, &rt, &cache, &key);
+        let warm = forward_oracle_batch_cached(&m, &batch, &ctx, &rt, &cache, &key);
+        assert_eq!((cache.stats().misses, cache.stats().hits), (1, 1));
+        let off = OracleCache::new(&dir, CacheMode::Off);
+        let disabled = forward_oracle_batch_cached(&m, &batch, &ctx, &rt, &off, &key);
+        for (i, u) in uncached.iter().enumerate() {
+            assert!(bit_identical(u, &cold[i]), "cold[{i}]");
+            assert!(bit_identical(u, &warm[i]), "warm[{i}]");
+            assert!(bit_identical(u, &disabled[i]), "off[{i}]");
+        }
+        // Changing the observations or the model changes the key.
+        let other_batch = sequences(4, 51);
+        assert_ne!(
+            forward_oracle_cache_key("batch-test", "quick", 7, &m, &other_batch, &ctx).digest(),
+            key.digest()
+        );
+        let other = Hmm::new(
+            2,
+            2,
+            vec![0.6, 0.4, 0.4, 0.6],
+            vec![0.9, 0.1, 0.2, 0.8],
+            vec![0.5, 0.5],
+        );
+        assert_ne!(
+            forward_oracle_cache_key("batch-test", "quick", 7, &other, &batch, &ctx).digest(),
+            key.digest()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

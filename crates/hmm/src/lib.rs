@@ -51,7 +51,10 @@ mod gen;
 mod model;
 mod viterbi;
 
-pub use batch::{forward_batch, forward_log_batch, forward_oracle_batch};
+pub use batch::{
+    forward_batch, forward_log_batch, forward_oracle_batch, forward_oracle_batch_cached,
+    forward_oracle_cache_key, ORACLE_KERNEL_TAG,
+};
 pub use forward::{
     forward, forward_log, forward_oracle, forward_scaled, forward_trace, forward_trace_rt,
     ScaledForward, TracePoint,

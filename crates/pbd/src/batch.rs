@@ -11,8 +11,15 @@
 use crate::column::{call_column_with_oracle, CallOutcome, Column};
 use crate::pmf::{pbd_pvalue, pbd_pvalue_oracle, PbdResult};
 use compstat_bigfloat::{BigFloat, Context};
+use compstat_core::cache::{sha256_hex, CacheKey, OracleCache};
 use compstat_core::StatFloat;
 use compstat_runtime::Runtime;
+
+/// Version tag of the PBD oracle kernel, hashed into every oracle
+/// cache key. **Bump this whenever [`pbd_pvalue_oracle`] (or anything
+/// it depends on for its exact bits) changes**, or stale cache entries
+/// will be served; the cold-cache CI leg backstops a forgotten bump.
+pub const ORACLE_KERNEL_TAG: &str = "pbd-pvalue-oracle/v1";
 
 /// Computes every column's p-value in format `T`, in parallel.
 ///
@@ -43,6 +50,58 @@ pub fn oracle_pvalues(columns: &[Column], ctx: &Context, rt: &Runtime) -> Vec<Bi
     rt.par_map(columns, |col| {
         pbd_pvalue_oracle(&col.success_probs, col.k, ctx)
     })
+}
+
+/// Builds the cache key for [`oracle_pvalues_cached`] over `columns`.
+///
+/// The key combines the sweep's provenance (`experiment`, `scale`,
+/// `seed` — how the corpus was built), the oracle precision, the
+/// kernel version tag, and — belt and braces — a SHA-256 fingerprint
+/// of the column *data itself* (every success probability's bits plus
+/// `k`), so a change to corpus generation invalidates entries even
+/// without a seed change.
+#[must_use]
+pub fn oracle_cache_key(
+    experiment: &str,
+    scale: &str,
+    seed: u64,
+    columns: &[Column],
+    ctx: &Context,
+) -> CacheKey {
+    let mut data = Vec::with_capacity(columns.len() * 64);
+    for col in columns {
+        data.extend_from_slice(&(col.success_probs.len() as u64).to_le_bytes());
+        data.extend_from_slice(&(col.k as u64).to_le_bytes());
+        for p in &col.success_probs {
+            data.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+    }
+    CacheKey::new("pbd/oracle-pvalues")
+        .field("kernel", ORACLE_KERNEL_TAG)
+        .field("experiment", experiment)
+        .field("scale", scale)
+        .field("seed", seed)
+        .field("columns", columns.len())
+        .field("prec", ctx.prec())
+        .field("corpus-sha256", sha256_hex(&data))
+}
+
+/// [`oracle_pvalues`] behind the persistent oracle cache: with
+/// [`CacheMode::ReadWrite`](compstat_runtime::CacheMode) a stored
+/// result for `key` is served (and verified to hold one value per
+/// column); otherwise — and always with
+/// [`CacheMode::Off`](compstat_runtime::CacheMode) — the sweep runs
+/// through `rt` and the result is stored. Either way the returned
+/// vector is bit-for-bit the uncached sweep's.
+#[must_use]
+pub fn oracle_pvalues_cached(
+    columns: &[Column],
+    ctx: &Context,
+    rt: &Runtime,
+    cache: &OracleCache,
+    key: &CacheKey,
+) -> Vec<BigFloat> {
+    cache.get_or_compute(key, columns.len(), || oracle_pvalues(columns, ctx, rt))
 }
 
 /// Calls every column in format `T` against precomputed oracle
@@ -126,6 +185,43 @@ mod tests {
         assert!(pvalues_in::<f64>(&[], &rt).is_empty());
         assert!(oracle_pvalues(&[], &ctx, &rt).is_empty());
         assert!(pvalue_sweep::<f64>(&[], &rt).is_empty());
+    }
+
+    #[test]
+    fn cached_oracle_sweep_is_bit_identical_cold_warm_and_off() {
+        use compstat_bigfloat::bit_identical;
+        use compstat_runtime::CacheMode;
+        let columns = corpus();
+        let ctx = Context::new(256);
+        let rt = Runtime::serial();
+        let key = oracle_cache_key("batch-test", "quick", 7, &columns, &ctx);
+        let dir = std::env::temp_dir().join(format!("compstat-pbd-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let uncached = oracle_pvalues(&columns, &ctx, &rt);
+        let cache = OracleCache::new(&dir, CacheMode::ReadWrite);
+        let cold = oracle_pvalues_cached(&columns, &ctx, &rt, &cache, &key);
+        let warm = oracle_pvalues_cached(&columns, &ctx, &rt, &cache, &key);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+        let off = OracleCache::new(&dir, CacheMode::Off);
+        let disabled = oracle_pvalues_cached(&columns, &ctx, &rt, &off, &key);
+        for (i, u) in uncached.iter().enumerate() {
+            assert!(bit_identical(u, &cold[i]), "cold[{i}]");
+            assert!(bit_identical(u, &warm[i]), "warm[{i}]");
+            assert!(bit_identical(u, &disabled[i]), "off[{i}]");
+        }
+        // A different corpus (or precision) must key differently.
+        let fewer = &columns[..columns.len() - 1];
+        assert_ne!(
+            oracle_cache_key("batch-test", "quick", 7, fewer, &ctx).digest(),
+            key.digest()
+        );
+        assert_ne!(
+            oracle_cache_key("batch-test", "quick", 7, &columns, &Context::new(128)).digest(),
+            key.digest()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub mod column;
 pub mod datasets;
 mod pmf;
 
-pub use batch::{call_columns, oracle_pvalues, pvalue_sweep, pvalues_in};
+pub use batch::{
+    call_columns, oracle_cache_key, oracle_pvalues, oracle_pvalues_cached, pvalue_sweep,
+    pvalues_in, ORACLE_KERNEL_TAG,
+};
 pub use column::{call_column, call_column_with_oracle, CallOutcome, Column, CRITICAL_EXP};
 pub use datasets::{accuracy_corpus, perf_datasets, ColumnDims, DatasetSpec};
 pub use pmf::{pbd_pmf_full, pbd_pvalue, pbd_pvalue_log, pbd_pvalue_oracle, PbdResult};

@@ -39,9 +39,25 @@
 //! variable:
 //!
 //! * `1` — serial fallback (run everything on the calling thread);
-//! * `0`, unset, or unparsable — use
+//! * `0`, unset, or empty/whitespace — use
 //!   [`std::thread::available_parallelism`];
-//! * any other `n` — use exactly `n` worker threads.
+//! * any other `n` up to [`MAX_THREADS`] — use exactly `n` worker
+//!   threads;
+//! * anything else (non-numeric, negative, or beyond the cap) is a
+//!   *misconfiguration*: [`Runtime::try_from_env`] returns a
+//!   [`ThreadsEnvError`] naming the bad value, and the infallible
+//!   [`Runtime::from_env`] prints that error as a warning to stderr and
+//!   falls back to all cores — never a silent "behaves like unset".
+//!
+//! ## Cache mode
+//!
+//! The runtime also carries the oracle-cache switch ([`CacheMode`]) so
+//! one value threads both knobs through the experiment engine. Plain
+//! constructors ([`Runtime::with_threads`], [`Runtime::serial`]) leave
+//! caching [`CacheMode::Off`]; [`Runtime::from_env`] honors the
+//! `COMPSTAT_CACHE` environment variable (`off`/`0`/`no` vs
+//! `on`/`1`/`rw`, default off at the library level — the `compstat` CLI
+//! defaults it on for `run`).
 //!
 //! ## Panic propagation
 //!
@@ -55,6 +71,99 @@
 use rand::rngs::StdRng;
 use std::ops::Range;
 
+/// Upper bound on an explicitly requested thread count. Chunking caps
+/// real spawns at the item count, so larger values could not help —
+/// they only ever indicate a unit mix-up in `COMPSTAT_THREADS`.
+pub const MAX_THREADS: usize = 4096;
+
+/// Whether oracle sweeps may read and write the persistent cache.
+///
+/// Carried by the [`Runtime`] so the experiment engine threads one
+/// value through every sweep. The cache itself (location, file format,
+/// statistics) lives in `compstat-core`; this is only the switch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Never touch the cache: always recompute (the `--no-cache` path,
+    /// and the default for programmatic [`Runtime`] construction).
+    #[default]
+    Off,
+    /// Read cached oracle results when present, write them after a
+    /// miss.
+    ReadWrite,
+}
+
+impl CacheMode {
+    /// Resolves the mode from the `COMPSTAT_CACHE` environment
+    /// variable (case-insensitive): `off`/`0`/`no`/`false` force
+    /// [`CacheMode::Off`], `on`/`1`/`rw`/`true` force
+    /// [`CacheMode::ReadWrite`]; unset or empty yields `default`, and
+    /// any other value warns on stderr before yielding `default` —
+    /// a misspelled switch must never silently serve cached data the
+    /// user asked to recompute.
+    #[must_use]
+    pub fn from_env_or(default: CacheMode) -> CacheMode {
+        let Ok(raw) = std::env::var("COMPSTAT_CACHE") else {
+            return default;
+        };
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "" => default,
+            "off" | "0" | "no" | "false" => CacheMode::Off,
+            "on" | "1" | "rw" | "true" => CacheMode::ReadWrite,
+            _ => {
+                eprintln!(
+                    "compstat-runtime: warning: COMPSTAT_CACHE={raw:?} is not a recognized \
+                     mode (use on or off); using the default"
+                );
+                default
+            }
+        }
+    }
+}
+
+/// A rejected `COMPSTAT_THREADS` value (see [`Runtime::try_from_env`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadsEnvError {
+    /// The environment variable's verbatim contents.
+    pub raw: String,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl core::fmt::Display for ThreadsEnvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "COMPSTAT_THREADS={:?} is invalid: {} (use 0 or unset for all cores, 1 for serial, \
+             or a thread count up to {MAX_THREADS})",
+            self.raw, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ThreadsEnvError {}
+
+/// Parses a `COMPSTAT_THREADS` value. `Ok(None)` means "treat as
+/// unset" (empty or whitespace-only — the documented convenience for
+/// `COMPSTAT_THREADS= cmd` spellings); numbers above [`MAX_THREADS`],
+/// negative numbers, and non-numeric text are errors.
+fn parse_threads_env(raw: &str) -> Result<Option<usize>, ThreadsEnvError> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n <= MAX_THREADS => Ok(Some(n)),
+        Ok(n) => Err(ThreadsEnvError {
+            raw: raw.to_string(),
+            reason: format!("{n} exceeds the {MAX_THREADS}-thread cap"),
+        }),
+        Err(_) => Err(ThreadsEnvError {
+            raw: raw.to_string(),
+            reason: "not a non-negative integer".to_string(),
+        }),
+    }
+}
+
 /// Deterministic parallel-map executor with a fixed thread budget.
 ///
 /// Construction is cheap (no pool is kept alive); threads are scoped to
@@ -62,22 +171,44 @@ use std::ops::Range;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Runtime {
     threads: usize,
+    cache: CacheMode,
 }
 
 impl Runtime {
-    /// Builds a runtime from the `COMPSTAT_THREADS` environment
-    /// variable (see the crate docs for the knob's semantics).
+    /// Builds a runtime from the `COMPSTAT_THREADS` and
+    /// `COMPSTAT_CACHE` environment variables, reporting a bad thread
+    /// count instead of guessing (see the crate docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ThreadsEnvError`] when `COMPSTAT_THREADS` is set to
+    /// something that is neither empty nor a thread count in
+    /// `0..=MAX_THREADS`.
+    pub fn try_from_env() -> Result<Runtime, ThreadsEnvError> {
+        let threads = match std::env::var("COMPSTAT_THREADS") {
+            Ok(raw) => parse_threads_env(&raw)?.unwrap_or(0),
+            Err(_) => 0,
+        };
+        Ok(Runtime::with_threads(threads).with_cache_mode(CacheMode::from_env_or(CacheMode::Off)))
+    }
+
+    /// Infallible [`Runtime::try_from_env`]: a bad `COMPSTAT_THREADS`
+    /// value prints a warning to stderr and falls back to all cores
+    /// (the documented misconfiguration behavior — never silent).
     #[must_use]
     pub fn from_env() -> Runtime {
-        let requested = std::env::var("COMPSTAT_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or(0);
-        Runtime::with_threads(requested)
+        match Runtime::try_from_env() {
+            Ok(rt) => rt,
+            Err(e) => {
+                eprintln!("compstat-runtime: warning: {e}; falling back to all cores");
+                Runtime::with_threads(0).with_cache_mode(CacheMode::from_env_or(CacheMode::Off))
+            }
+        }
     }
 
     /// Builds a runtime with an explicit thread budget; `0` means
-    /// [`std::thread::available_parallelism`].
+    /// [`std::thread::available_parallelism`]. Caching starts
+    /// [`CacheMode::Off`].
     #[must_use]
     pub fn with_threads(threads: usize) -> Runtime {
         let threads = if threads == 0 {
@@ -87,13 +218,30 @@ impl Runtime {
         } else {
             threads
         };
-        Runtime { threads }
+        Runtime {
+            threads,
+            cache: CacheMode::Off,
+        }
     }
 
     /// The serial runtime: everything runs on the calling thread.
     #[must_use]
     pub fn serial() -> Runtime {
         Runtime::with_threads(1)
+    }
+
+    /// Returns this runtime with the given oracle-cache mode (builder
+    /// style).
+    #[must_use]
+    pub fn with_cache_mode(mut self, cache: CacheMode) -> Runtime {
+        self.cache = cache;
+        self
+    }
+
+    /// The oracle-cache switch carried by this runtime.
+    #[must_use]
+    pub fn cache_mode(&self) -> CacheMode {
+        self.cache
     }
 
     /// The resolved thread budget (always at least 1).
@@ -218,6 +366,39 @@ mod tests {
         assert!(Runtime::with_threads(0).threads() >= 1);
         assert_eq!(Runtime::with_threads(3).threads(), 3);
         assert_eq!(Runtime::serial().threads(), 1);
+    }
+
+    #[test]
+    fn programmatic_runtimes_default_to_cache_off() {
+        assert_eq!(Runtime::with_threads(4).cache_mode(), CacheMode::Off);
+        assert_eq!(Runtime::serial().cache_mode(), CacheMode::Off);
+        assert_eq!(
+            Runtime::serial()
+                .with_cache_mode(CacheMode::ReadWrite)
+                .cache_mode(),
+            CacheMode::ReadWrite
+        );
+    }
+
+    #[test]
+    fn threads_env_parsing_rejects_garbage_loudly() {
+        // Empty / whitespace: documented "treat as unset".
+        assert_eq!(parse_threads_env(""), Ok(None));
+        assert_eq!(parse_threads_env("  "), Ok(None));
+        // Valid counts, including the serial and all-cores spellings.
+        assert_eq!(parse_threads_env("0"), Ok(Some(0)));
+        assert_eq!(parse_threads_env("1"), Ok(Some(1)));
+        assert_eq!(parse_threads_env(" 16 "), Ok(Some(16)));
+        assert_eq!(parse_threads_env("4096"), Ok(Some(MAX_THREADS)));
+        // Misconfigurations are errors naming the bad value, not a
+        // silent fall-through to "unset".
+        for bad in ["abc", "-1", "999999999999", "4097", "1.5", "0x10"] {
+            let err = parse_threads_env(bad).expect_err(bad);
+            assert_eq!(err.raw, bad);
+            assert!(err.to_string().contains("COMPSTAT_THREADS"), "{err}");
+        }
+        // Overflow beyond u64 also errors (not wraps).
+        assert!(parse_threads_env("99999999999999999999999999").is_err());
     }
 
     #[test]
