@@ -60,10 +60,16 @@ pub fn vicar_errors(t_len: usize, models: usize, h: usize, seed: u64, rt: &Runti
     // Stream `i` draws the model and then the observations, exactly as
     // the format pass below will redraw them, so `oracles[i]` is the
     // oracle likelihood of the very inputs item `i` evaluates.
+    // On a sharded runtime the sweep is computed and cached in N
+    // round-robin parts (`key` + `part: K/N`); each part reuses the
+    // same per-item split streams (`base.split(i)` by *global* index),
+    // so any shard computes exactly the bytes the unsharded sweep
+    // would, and reassembly also stores the monolithic entry.
     let key = oracle_cache_key(t_len, models, h, seed, &ctx);
     let cache = OracleCache::from_runtime(rt);
-    let oracles = cache.get_or_compute(&key, models, || {
-        rt.par_map_seeded(models, &base, |_, stream| {
+    let parts = rt.shard().map_or(1, |s| s.count());
+    let oracles = cache.get_or_compute_parts(&key, models, parts, |indices| {
+        rt.par_map_seeded_at(indices, &base, |_, stream| {
             let model = dirichlet_hmm(stream, h, SYMBOLS, ALPHA);
             let obs = uniform_observations(stream, SYMBOLS, t_len);
             forward_oracle(&model, &obs, &ctx)

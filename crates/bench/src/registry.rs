@@ -8,7 +8,7 @@
 
 use crate::experiments::*;
 use compstat_core::{Experiment, Report, Scale};
-use compstat_runtime::Runtime;
+use compstat_runtime::{Runtime, Shard};
 
 macro_rules! entry {
     ($strukt:ident, $name:expr, $title:expr, $run:expr) => {
@@ -159,6 +159,17 @@ pub fn find(name: &str) -> Option<&'static dyn Experiment> {
     registry().iter().copied().find(|e| e.name() == name)
 }
 
+/// The experiments `shard` owns, in registry order — shard K of N
+/// takes every registry position `i` with `i % N == K - 1`
+/// (round-robin), so the union over shards 1..=N is exactly
+/// [`registry`], disjointly, and `compstat merge` can reassemble
+/// registry order from the shard stamps alone.
+#[must_use]
+pub fn registry_shard(shard: Shard) -> Vec<&'static dyn Experiment> {
+    let all = registry();
+    shard.indices(all.len()).map(|i| all[i]).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +197,34 @@ mod tests {
         assert_eq!(find("tab02").unwrap().name(), "tab02");
         assert!(find("fig02").is_none());
         assert!(find("").is_none());
+    }
+
+    #[test]
+    fn registry_shards_partition_the_registry() {
+        let all = registry();
+        for n in 1..=8 {
+            let mut seen = vec![0usize; all.len()];
+            for k in 1..=n {
+                let shard = Shard::new(k, n).unwrap();
+                let mine = registry_shard(shard);
+                assert_eq!(mine.len(), shard.len_of(all.len()));
+                // Deterministic across calls.
+                let again: Vec<&str> = registry_shard(shard).iter().map(|e| e.name()).collect();
+                assert_eq!(mine.iter().map(|e| e.name()).collect::<Vec<_>>(), again);
+                for e in mine {
+                    let i = all.iter().position(|x| x.name() == e.name()).unwrap();
+                    seen[i] += 1;
+                    assert!(shard.owns(i));
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "N={n}: not a partition");
+        }
+        // Shard 1 of 1 is the whole registry, in order.
+        let whole = registry_shard(Shard::new(1, 1).unwrap());
+        assert_eq!(
+            whole.iter().map(|e| e.name()).collect::<Vec<_>>(),
+            all.iter().map(|e| e.name()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

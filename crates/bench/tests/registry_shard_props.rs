@@ -1,0 +1,42 @@
+//! Property test for registry-level sharding: for any shard count the
+//! assignment is a true partition of the experiment registry —
+//! disjoint, complete, deterministic, and order-preserving — so
+//! `compstat merge` can reassemble registry order from the shard
+//! stamps alone.
+
+use compstat_bench::registry::{registry, registry_shard};
+use compstat_runtime::Shard;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn registry_shards_partition_the_registry(n in 1usize..=16) {
+        let all = registry();
+        let mut owners = vec![0usize; all.len()];
+        for k in 1..=n {
+            let shard = Shard::new(k, n).unwrap();
+            let mine = registry_shard(shard);
+            prop_assert_eq!(mine.len(), shard.len_of(all.len()));
+            // Deterministic across calls.
+            let names: Vec<&str> = mine.iter().map(|e| e.name()).collect();
+            let again: Vec<&str> = registry_shard(shard).iter().map(|e| e.name()).collect();
+            prop_assert_eq!(&names, &again);
+            // Each owned experiment sits at an owned registry position,
+            // and the slice preserves registry order.
+            let mut positions = Vec::with_capacity(mine.len());
+            for e in &mine {
+                let i = all.iter().position(|x| x.name() == e.name()).unwrap();
+                prop_assert!(shard.owns(i), "shard {}/{} got position {}", k, n, i);
+                owners[i] += 1;
+                positions.push(i);
+            }
+            prop_assert!(positions.windows(2).all(|w| w[0] < w[1]), "registry order");
+        }
+        prop_assert!(
+            owners.iter().all(|&c| c == 1),
+            "N={}: every experiment assigned exactly once: {:?}", n, owners
+        );
+    }
+}

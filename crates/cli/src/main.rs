@@ -3,9 +3,11 @@
 //! ```text
 //! compstat list
 //! compstat run <name>... | --all [--scale quick|default|paper]
-//!              [--threads N] [--out DIR]
+//!              [--threads N] [--out DIR] [--shard K/N]
+//! compstat merge <shard-dir>... --out DIR
 //! compstat diff <baseline-dir> <new-dir> [--tolerances FILE] [--json]
 //! compstat validate <dir-or-file>...
+//! cache stats | clear | export <tar> | import <tar>
 //! ```
 //!
 //! `run` resolves experiments in the `compstat-bench` registry and runs
@@ -17,6 +19,13 @@
 //! value — `diff -r` between a serial and a parallel output directory
 //! is empty, and CI enforces exactly that.
 //!
+//! `run --shard K/N` takes the K-th round-robin slice of the registry
+//! (and splits the big oracle sweeps into cached parts), writing a
+//! shard-stamped `index.json`; `merge` reassembles a complete shard
+//! set into the canonical directory an unsharded `run --all` would
+//! have written, byte for byte. `cache export`/`cache import` move the
+//! oracle store between machines as a deterministic ustar archive.
+//!
 //! `diff` compares two report directories cell by cell under a
 //! [`TolerancePolicy`] and exits 0 (clean), 1 (changes, all within
 //! tolerance), or 2 (violations); any usage or load error exits 3 so
@@ -25,12 +34,14 @@
 //! Argument parsing is hand-rolled: the build environment has no
 //! registry access, so no `clap`.
 
-use compstat_bench::registry::{find, registry};
+use compstat_bench::registry::{find, registry, registry_shard};
+use compstat_core::archive::{export_cache, import_cache};
 use compstat_core::cache;
 use compstat_core::diff::{diff_dirs, TolerancePolicy};
 use compstat_core::json::Json;
+use compstat_core::merge::{index_doc_for_reports, merge_shard_dirs};
 use compstat_core::{Report, Scale, INDEX_SCHEMA};
-use compstat_runtime::{CacheMode, Runtime};
+use compstat_runtime::{CacheMode, Runtime, Shard};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -68,6 +79,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("list") => cmd_list(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
@@ -89,24 +101,31 @@ compstat — run the paper's experiments through the unified engine
 USAGE:
     compstat list
     compstat run <name>... | --all [--scale quick|default|paper]
-                 [--threads N] [--out DIR] [--no-cache]
+                 [--threads N] [--out DIR] [--no-cache] [--shard K/N]
+    compstat merge <shard-dir>... --out DIR
     compstat diff <baseline-dir> <new-dir> [--tolerances FILE] [--json]
     compstat validate <dir-or-file>...
-    compstat cache stats | clear
+    compstat cache stats | clear | export <tar> | import <tar>
     compstat help
 
 COMMANDS:
     list        List every registered experiment (name and title)
     run         Run experiments; print text reports, or write one JSON
                 report per experiment plus index.json with --out
+    merge       Reassemble a complete set of `run --shard` output
+                directories into the canonical directory an unsharded
+                `run --all` would write (byte-identical); exit 0 on
+                success, 1 on overlap/missing/inconsistent shards, 2 on
+                usage errors
     diff        Compare two report directories cell by cell; exit 0 if
                 identical, 1 if all changes are within tolerance, 2 on
                 violations or added/removed experiments, 3 on errors
     validate    Parse every .json report under the given paths; report
                 every malformed document with its reason
-    cache       Inspect (`stats`) or empty (`clear`) the persistent
-                oracle cache ($COMPSTAT_CACHE_DIR, default
-                .compstat-cache/)
+    cache       Inspect (`stats`), empty (`clear`), or move the
+                persistent oracle cache ($COMPSTAT_CACHE_DIR, default
+                .compstat-cache/) between machines as a deterministic
+                ustar archive (`export <tar>` / `import <tar>`)
 
 OPTIONS (run):
     --all           Run every registered experiment, in registry order
@@ -118,6 +137,10 @@ OPTIONS (run):
     --no-cache      Recompute every oracle sweep, bypassing the cache
                     (reports are byte-identical either way; also
                     available as COMPSTAT_CACHE=off)
+    --shard K/N     Run shard K of an N-way round-robin partition of
+                    the registry (requires --all; big oracle sweeps are
+                    cached in N parts). The index.json is shard-stamped
+                    so `compstat merge` can reassemble the full set
 
 OPTIONS (diff):
     --tolerances F  Load a compstat-tolerances/v1 JSON policy file
@@ -149,6 +172,7 @@ struct RunArgs {
     threads: Option<usize>,
     out: Option<PathBuf>,
     no_cache: bool,
+    shard: Option<Shard>,
 }
 
 fn parse_run_args(rest: &[String]) -> Result<RunArgs, String> {
@@ -159,6 +183,7 @@ fn parse_run_args(rest: &[String]) -> Result<RunArgs, String> {
         threads: None,
         out: None,
         no_cache: false,
+        shard: None,
     };
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -191,12 +216,23 @@ fn parse_run_args(rest: &[String]) -> Result<RunArgs, String> {
                 parsed.threads = Some(n);
             }
             "--out" => parsed.out = Some(PathBuf::from(value_of("--out")?)),
+            "--shard" => {
+                let v = value_of("--shard")?;
+                // Same contract as the COMPSTAT_THREADS misparse
+                // handling: a bad value is a usage error naming it.
+                parsed.shard = Some(Shard::parse(&v).map_err(|e| e.to_string())?);
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
             name => parsed.names.push(name.to_string()),
         }
     }
     if parsed.all && !parsed.names.is_empty() {
         return Err("pass either experiment names or --all, not both".into());
+    }
+    if parsed.shard.is_some() && !parsed.names.is_empty() {
+        return Err("--shard partitions the whole registry deterministically; \
+             pass --all, not experiment names"
+            .into());
     }
     if !parsed.all && parsed.names.is_empty() {
         return Err("nothing to run: pass experiment names or --all".into());
@@ -213,7 +249,9 @@ fn cmd_run(rest: &[String]) -> ExitCode {
         }
     };
 
-    let experiments: Vec<&dyn compstat_core::Experiment> = if parsed.all {
+    let experiments: Vec<&dyn compstat_core::Experiment> = if let Some(shard) = parsed.shard {
+        registry_shard(shard)
+    } else if parsed.all {
         registry().to_vec()
     } else {
         let mut selected = Vec::new();
@@ -249,7 +287,13 @@ fn cmd_run(rest: &[String]) -> ExitCode {
     } else {
         CacheMode::from_env_or(CacheMode::ReadWrite)
     };
-    let rt = rt.with_cache_mode(cache_mode);
+    let mut rt = rt.with_cache_mode(cache_mode);
+    if let Some(shard) = parsed.shard {
+        // The runtime carries the shard so the big oracle sweeps split
+        // their work items (and cache entries) the same N ways.
+        rt = rt.with_shard(shard);
+    }
+    let rt = rt;
     let stats_before = cache::global_stats();
 
     if let Some(dir) = &parsed.out {
@@ -294,7 +338,7 @@ fn cmd_run(rest: &[String]) -> ExitCode {
         // index.json is written last (and atomically): its presence
         // marks a complete report directory, so a half-written run can
         // never half-load.
-        let index = index_json(parsed.scale, &reports);
+        let index = index_doc_for_reports(parsed.scale, parsed.shard, &reports);
         let path = dir.join("index.json");
         let mut bytes = index.to_json_string();
         bytes.push('\n');
@@ -341,27 +385,60 @@ fn cmd_run(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Builds the `index.json` summary: deterministic (no timestamps or
-/// thread counts), so a serial and a parallel run emit identical bytes.
-fn index_json(scale: Scale, reports: &[Report]) -> Json {
-    let entries = reports
-        .iter()
-        .map(|r| {
-            Json::obj(vec![
-                ("name", Json::str(r.name)),
-                ("title", Json::str(r.title)),
-                ("file", Json::str(format!("{}.json", r.name))),
-                ("blocks", Json::Num(r.blocks.len() as f64)),
-                ("metrics", Json::Num(r.metrics.len() as f64)),
-            ])
-        })
-        .collect();
-    Json::obj(vec![
-        ("schema", Json::str(INDEX_SCHEMA)),
-        ("scale", Json::str(scale.as_str())),
-        ("count", Json::Num(reports.len() as f64)),
-        ("experiments", Json::Arr(entries)),
-    ])
+struct MergeArgs {
+    dirs: Vec<PathBuf>,
+    out: PathBuf,
+}
+
+fn parse_merge_args(rest: &[String]) -> Result<MergeArgs, String> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => return Err("--out needs a directory".into()),
+            },
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            dir => dirs.push(PathBuf::from(dir)),
+        }
+    }
+    if dirs.is_empty() {
+        return Err("pass at least one shard report directory".into());
+    }
+    let Some(out) = out else {
+        return Err("--out DIR is required (merge never writes in place)".into());
+    };
+    Ok(MergeArgs { dirs, out })
+}
+
+fn cmd_merge(rest: &[String]) -> ExitCode {
+    let parsed = match parse_merge_args(rest) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("compstat merge: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match merge_shard_dirs(&parsed.dirs, &parsed.out) {
+        Ok(summary) => {
+            match emit(&format!(
+                "merged {} shard(s), {} experiment(s) at scale {} into {}\n",
+                summary.shards,
+                summary.experiments,
+                summary.scale,
+                parsed.out.display()
+            )) {
+                Emit::Failed => ExitCode::FAILURE,
+                _ => ExitCode::SUCCESS,
+            }
+        }
+        Err(e) => {
+            eprintln!("compstat merge: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 struct DiffArgs {
@@ -442,9 +519,66 @@ fn cmd_cache(rest: &[String]) -> ExitCode {
     match rest {
         [action] if action == "stats" => cmd_cache_stats(),
         [action] if action == "clear" => cmd_cache_clear(),
+        [action, file] if action == "export" => cmd_cache_export(Path::new(file)),
+        [action, file] if action == "import" => cmd_cache_import(Path::new(file)),
         _ => {
-            eprintln!("compstat cache: pass exactly one of `stats` or `clear`");
+            eprintln!("compstat cache: pass `stats`, `clear`, `export <tar>`, or `import <tar>`");
             ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_cache_export(file: &Path) -> ExitCode {
+    let dir = cache::default_dir();
+    let (bytes, count) = match export_cache(&dir) {
+        Ok(packed) => packed,
+        Err(e) => {
+            eprintln!("compstat cache: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = cache::write_atomic(file, &bytes) {
+        eprintln!("compstat cache: cannot write {}: {e}", file.display());
+        return ExitCode::FAILURE;
+    }
+    match emit(&format!(
+        "exported {count} entr{} from {} to {} ({} bytes)\n",
+        if count == 1 { "y" } else { "ies" },
+        dir.display(),
+        file.display(),
+        bytes.len()
+    )) {
+        Emit::Failed => ExitCode::FAILURE,
+        _ => ExitCode::SUCCESS,
+    }
+}
+
+fn cmd_cache_import(file: &Path) -> ExitCode {
+    let bytes = match std::fs::read(file) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("compstat cache: cannot read {}: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let dir = cache::default_dir();
+    match import_cache(&dir, &bytes) {
+        Ok(summary) => {
+            match emit(&format!(
+                "imported {} entr{} into {} ({} new, {} already present)\n",
+                summary.total(),
+                if summary.total() == 1 { "y" } else { "ies" },
+                dir.display(),
+                summary.added,
+                summary.existing
+            )) {
+                Emit::Failed => ExitCode::FAILURE,
+                _ => ExitCode::SUCCESS,
+            }
+        }
+        Err(e) => {
+            eprintln!("compstat cache: {}: {e}", file.display());
+            ExitCode::FAILURE
         }
     }
 }
@@ -755,12 +889,48 @@ mod tests {
             .iter()
             .map(|n| find(n).unwrap().run(&Runtime::serial(), Scale::Quick))
             .collect();
-        let a = index_json(Scale::Quick, &reports).to_json_string();
-        let b = index_json(Scale::Quick, &reports).to_json_string();
+        let a = index_doc_for_reports(Scale::Quick, None, &reports).to_json_string();
+        let b = index_doc_for_reports(Scale::Quick, None, &reports).to_json_string();
         assert_eq!(a, b);
         let doc = Json::parse(&a).unwrap();
         assert!(check_schema(Path::new("index.json"), &doc).is_ok());
         assert_eq!(doc.get("count").unwrap().as_f64(), Some(2.0));
+        // A shard-stamped index still passes the schema check.
+        let stamped =
+            index_doc_for_reports(Scale::Quick, Some(Shard::new(1, 3).unwrap()), &reports)
+                .to_json_string();
+        let doc = Json::parse(&stamped).unwrap();
+        assert!(check_schema(Path::new("index.json"), &doc).is_ok());
+    }
+
+    #[test]
+    fn run_args_parse_and_validate_shard() {
+        let p = parse_run_args(&strings(&["--all", "--shard", "2/3"])).unwrap();
+        assert_eq!(p.shard, Some(Shard::new(2, 3).unwrap()));
+
+        for bad in ["0/3", "4/3", "a/b", "3/0", "3", ""] {
+            let err = parse_run_args(&strings(&["--all", "--shard", bad]))
+                .map(|_| ())
+                .unwrap_err();
+            assert!(err.contains(&format!("{bad:?}")), "{bad}: {err}");
+        }
+        // --shard partitions the registry; explicit names conflict.
+        assert!(parse_run_args(&strings(&["fig01", "--shard", "1/2"])).is_err());
+        assert!(parse_run_args(&strings(&["--shard", "1/2"])).is_err());
+        assert!(parse_run_args(&strings(&["--all", "--shard"])).is_err());
+    }
+
+    #[test]
+    fn merge_args_require_dirs_and_out() {
+        let p = parse_merge_args(&strings(&["shard-1", "shard-2", "--out", "merged"])).unwrap();
+        assert_eq!(p.dirs, [PathBuf::from("shard-1"), PathBuf::from("shard-2")]);
+        assert_eq!(p.out, Path::new("merged"));
+
+        assert!(parse_merge_args(&strings(&[])).is_err());
+        assert!(parse_merge_args(&strings(&["shard-1"])).is_err());
+        assert!(parse_merge_args(&strings(&["shard-1", "--out"])).is_err());
+        assert!(parse_merge_args(&strings(&["--out", "merged"])).is_err());
+        assert!(parse_merge_args(&strings(&["a", "--bogus", "--out", "m"])).is_err());
     }
 
     #[test]

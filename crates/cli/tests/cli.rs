@@ -618,6 +618,296 @@ fn bad_compstat_threads_env_is_a_clear_error_not_a_silent_fallback() {
 }
 
 #[test]
+fn bad_shard_values_exit_2_and_name_the_value() {
+    for bad in ["0/3", "4/3", "a/b", "3/0", "3", ""] {
+        let out = compstat(&["run", "--all", "--scale", "quick", "--shard", bad]);
+        assert_eq!(out.status.code(), Some(2), "--shard {bad:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains(&format!("\"{bad}\"")),
+            "--shard {bad:?} error must name the value:\n{err}"
+        );
+    }
+    // --shard partitions the registry; it cannot combine with names,
+    // and requires --all.
+    for args in [
+        &["run", "fig01", "--scale", "quick", "--shard", "1/2"][..],
+        &["run", "--scale", "quick", "--shard", "1/2"],
+        &["run", "--all", "--scale", "quick", "--shard"],
+    ] {
+        let out = compstat(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+}
+
+fn read_dir_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let path = e.unwrap().path();
+            (
+                path.file_name().unwrap().to_str().unwrap().to_string(),
+                std::fs::read(&path).unwrap(),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn sharded_runs_merge_back_byte_identical_to_unsharded() {
+    // The distributed-run acceptance story through the binary: three
+    // `--shard K/3` runs at different thread counts, merged, must be
+    // byte-for-byte the directory a single unsharded run writes. The
+    // same shard dirs then exercise merge's refusal modes.
+    let unsharded = tmp_dir("shard-unsharded");
+    let out = compstat(&[
+        "run",
+        "--all",
+        "--scale",
+        "quick",
+        "--threads",
+        "2",
+        "--out",
+        unsharded.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let mut shard_dirs = Vec::new();
+    for k in 1..=3usize {
+        let dir = tmp_dir(&format!("shard-{k}-of-3"));
+        let out = compstat(&[
+            "run",
+            "--all",
+            "--scale",
+            "quick",
+            "--threads",
+            &k.to_string(),
+            "--shard",
+            &format!("{k}/3"),
+            "--out",
+            dir.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "shard {k}/3: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // Each shard's index carries its stamp.
+        let index = Json::parse(&std::fs::read_to_string(dir.join("index.json")).unwrap()).unwrap();
+        let stamp = index.get("shard").expect("shard index is stamped");
+        assert_eq!(stamp.get("index").unwrap().as_f64(), Some(k as f64));
+        assert_eq!(stamp.get("count").unwrap().as_f64(), Some(3.0));
+        shard_dirs.push(dir);
+    }
+
+    let merged = tmp_dir("shard-merged");
+    let mut args = vec!["merge"];
+    // Reversed argument order: merge reassembles from the stamps.
+    for dir in shard_dirs.iter().rev() {
+        args.push(dir.to_str().unwrap());
+    }
+    args.extend(["--out", merged.to_str().unwrap()]);
+    let out = compstat(&args);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("merged 3 shard(s)") && text.contains("at scale quick"),
+        "{text}"
+    );
+
+    let want = read_dir_bytes(&unsharded);
+    let got = read_dir_bytes(&merged);
+    assert_eq!(
+        want.len(),
+        compstat_bench::registry().len() + 1,
+        "17 reports + index.json"
+    );
+    for ((wname, wbytes), (gname, gbytes)) in want.iter().zip(&got) {
+        assert_eq!(wname, gname);
+        assert_eq!(wbytes, gbytes, "{wname}: merged differs from unsharded");
+    }
+    assert_eq!(want.len(), got.len());
+
+    // Refusal modes, all exit 1 with the problem named:
+    // a missing shard...
+    let out_dir = tmp_dir("shard-merge-missing");
+    let out = compstat(&[
+        "merge",
+        shard_dirs[0].to_str().unwrap(),
+        shard_dirs[2].to_str().unwrap(),
+        "--out",
+        out_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("2/3"),
+        "missing-shard error must name 2/3: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // ...the same shard twice...
+    let dup = tmp_dir("shard-1-again");
+    copy_dir(&shard_dirs[0], &dup);
+    let out = compstat(&[
+        "merge",
+        shard_dirs[0].to_str().unwrap(),
+        dup.to_str().unwrap(),
+        shard_dirs[1].to_str().unwrap(),
+        shard_dirs[2].to_str().unwrap(),
+        "--out",
+        tmp_dir("shard-merge-dup").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("1/3"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // ...an unstamped input directory...
+    let out = compstat(&[
+        "merge",
+        unsharded.to_str().unwrap(),
+        "--out",
+        tmp_dir("shard-merge-unstamped").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    // ...and a non-empty --out (merge never clobbers).
+    let out = compstat(&[
+        "merge",
+        shard_dirs[0].to_str().unwrap(),
+        shard_dirs[1].to_str().unwrap(),
+        shard_dirs[2].to_str().unwrap(),
+        "--out",
+        merged.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+
+    // Usage errors exit 2.
+    for args in [
+        &["merge", "--out", "somewhere"][..],
+        &["merge", "some-dir"],
+        &["merge", "some-dir", "--out"],
+    ] {
+        let out = compstat(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+}
+
+#[test]
+fn cache_export_import_round_trip_makes_a_fresh_machine_warm() {
+    // Portability story: machine A runs cold and exports its cache;
+    // machine B imports the tar and re-runs warm, without computing a
+    // single oracle value.
+    let machine_a = tmp_dir("cache-export-a");
+    let machine_b = tmp_dir("cache-import-b");
+    let env_a: Vec<(&str, &str)> = vec![("COMPSTAT_CACHE_DIR", machine_a.to_str().unwrap())];
+    let env_b: Vec<(&str, &str)> = vec![("COMPSTAT_CACHE_DIR", machine_b.to_str().unwrap())];
+
+    let out_a = tmp_dir("cache-export-reports-a");
+    let cold = compstat_env(
+        &[
+            "run",
+            "fig09",
+            "--scale",
+            "quick",
+            "--out",
+            out_a.to_str().unwrap(),
+        ],
+        &env_a,
+    );
+    assert!(cold.status.success());
+    assert!(
+        String::from_utf8_lossy(&cold.stderr).contains("1 miss(es)"),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+
+    let tar = Path::new(env!("CARGO_TARGET_TMPDIR")).join("oracle-cache.tar");
+    let _ = std::fs::remove_file(&tar);
+    let out = compstat_env(&["cache", "export", tar.to_str().unwrap()], &env_a);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8(out.stdout)
+            .unwrap()
+            .contains("exported 1 entry"),
+        "export summary"
+    );
+
+    let out = compstat_env(&["cache", "import", tar.to_str().unwrap()], &env_b);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("1 new, 0 already present"), "{text}");
+    // Importing again is a no-op, not an error.
+    let out = compstat_env(&["cache", "import", tar.to_str().unwrap()], &env_b);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("0 new, 1 already present"), "{text}");
+
+    // Machine B runs entirely warm and emits identical bytes.
+    let out_b = tmp_dir("cache-import-reports-b");
+    let warm = compstat_env(
+        &[
+            "run",
+            "fig09",
+            "--scale",
+            "quick",
+            "--out",
+            out_b.to_str().unwrap(),
+        ],
+        &env_b,
+    );
+    assert!(warm.status.success());
+    assert!(
+        String::from_utf8_lossy(&warm.stderr).contains("1 hit(s), 0 miss(es)"),
+        "imported cache must serve the sweep: {}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    assert_eq!(
+        std::fs::read(out_a.join("fig09.json")).unwrap(),
+        std::fs::read(out_b.join("fig09.json")).unwrap()
+    );
+    let stats = compstat_env(&["cache", "stats"], &env_b);
+    assert!(String::from_utf8(stats.stdout)
+        .unwrap()
+        .contains("last run: 1 hit(s), 0 miss(es)"));
+
+    // A corrupted tar is rejected wholesale: exit 1, cache untouched.
+    // Flipping the first header byte guarantees a checksum mismatch.
+    let mut bytes = std::fs::read(&tar).unwrap();
+    bytes[0] ^= 0xFF;
+    let bad_tar = Path::new(env!("CARGO_TARGET_TMPDIR")).join("oracle-cache-corrupt.tar");
+    std::fs::write(&bad_tar, &bytes).unwrap();
+    let machine_c = tmp_dir("cache-import-c");
+    let env_c: Vec<(&str, &str)> = vec![("COMPSTAT_CACHE_DIR", machine_c.to_str().unwrap())];
+    let out = compstat_env(&["cache", "import", bad_tar.to_str().unwrap()], &env_c);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        !machine_c.exists() || std::fs::read_dir(&machine_c).unwrap().count() == 0,
+        "rejected import must write nothing"
+    );
+    // Missing tar file is also exit 1.
+    let out = compstat_env(&["cache", "import", "/nonexistent/nope.tar"], &env_c);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
 fn single_report_matches_the_library_run() {
     // The binary's emitted JSON is exactly what the library produces:
     // no CLI-layer drift in the report pipeline.

@@ -40,7 +40,7 @@
 //! golden gate there; `compstat cache clear` is the local reset.
 
 use compstat_bigfloat::BigFloat;
-use compstat_runtime::{CacheMode, Runtime};
+use compstat_runtime::{CacheMode, Runtime, Shard};
 use std::cell::Cell;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -517,6 +517,90 @@ impl OracleCache {
         values
     }
 
+    /// [`OracleCache::get_or_compute`] with the sweep split into
+    /// `parts` round-robin slices, each cached under its own
+    /// part-stamped key — the work-item granularity of distributed
+    /// runs.
+    ///
+    /// `compute_part` receives the *global* item indices of one part
+    /// (shard `p` of `parts` owns `p - 1, p - 1 + parts, ...`) and must
+    /// return one value per index, in order — computed exactly as the
+    /// full sweep would compute them (same per-item RNG streams), so a
+    /// part's bytes are identical no matter which machine runs it.
+    ///
+    /// Lookup order:
+    ///
+    /// 1. the monolithic entry for `key` (what an unsharded run
+    ///    caches) — a hit serves the whole sweep;
+    /// 2. per-part entries `key + part=p/parts` — warm parts are
+    ///    served, cold parts are computed and stored;
+    /// 3. the reassembled full vector is stored under the monolithic
+    ///    `key` too, so a later *unsharded* run (or another shard
+    ///    sharing this sweep through `cache export`/`import`) hits
+    ///    without recomputation in either direction.
+    ///
+    /// With `parts <= 1` this is exactly [`OracleCache::get_or_compute`]
+    /// over the full index range — same key, same counters — so
+    /// unsharded runs are unaffected. With a shared cache directory,
+    /// concurrent shards running the same underlying sweep (fig09 and
+    /// fig11 share one) interleave at part granularity: whichever
+    /// writes a part first saves the others that part's work.
+    pub fn get_or_compute_parts(
+        &self,
+        key: &CacheKey,
+        expected_len: usize,
+        parts: usize,
+        compute_part: impl Fn(&[usize]) -> Vec<BigFloat>,
+    ) -> Vec<BigFloat> {
+        let all = || -> Vec<usize> { (0..expected_len).collect() };
+        if parts <= 1 {
+            return self.get_or_compute(key, expected_len, || compute_part(&all()));
+        }
+        if self.mode == CacheMode::Off {
+            return compute_part(&all());
+        }
+        // Monolithic entry first: an unsharded (or already reunited)
+        // sweep serves every part at once.
+        if let Some(values) = self.load(key) {
+            if values.len() == expected_len {
+                self.hits.set(self.hits.get() + 1);
+                GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
+                return values;
+            }
+            self.note_error(&format!(
+                "cache entry for {} holds {} values, expected {expected_len} (recomputing)",
+                key.describe(),
+                values.len()
+            ));
+        }
+        let mut part_values = Vec::with_capacity(parts);
+        for p in 1..=parts {
+            let shard = Shard::new(p, parts).expect("1 <= p <= parts");
+            let part_key = key.clone().field("part", shard);
+            let indices: Vec<usize> = shard.indices(expected_len).collect();
+            part_values
+                .push(self.get_or_compute(&part_key, indices.len(), || compute_part(&indices)));
+        }
+        match Shard::assemble(parts, expected_len, part_values) {
+            Ok(values) => {
+                // Store the reunited sweep under the monolithic key so
+                // part entries and full entries stay interchangeable.
+                self.store(key, &values);
+                values
+            }
+            Err(e) => {
+                // Only reachable if compute_part returned a wrong-length
+                // part (a caller bug) AND the part cache hid it; fall
+                // back to one honest full computation.
+                self.note_error(&format!(
+                    "discarding inconsistent part set for {}: {e} (recomputing whole sweep)",
+                    key.describe()
+                ));
+                compute_part(&all())
+            }
+        }
+    }
+
     fn note_error(&self, message: &str) {
         eprintln!("compstat-cache: warning: {message}");
         self.errors.set(self.errors.get() + 1);
@@ -839,6 +923,93 @@ mod tests {
         assert_eq!(got.len(), 4);
         assert!(cache.stats().errors >= 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn part_wise_sweep_matches_monolithic_in_every_warmth_order() {
+        let dir = tmp("parts");
+        let cache = OracleCache::new(&dir, CacheMode::ReadWrite);
+        let key = CacheKey::new("test/parts").field("seed", 9);
+        let n = 11;
+        let whole = sample_values(n);
+        let compute_part = |indices: &[usize]| -> Vec<BigFloat> {
+            indices.iter().map(|&i| whole[i].clone()).collect()
+        };
+
+        // parts = 1 is exactly the monolithic path: same key on disk.
+        let got = cache.get_or_compute_parts(&key, n, 1, compute_part);
+        assert!(got.iter().zip(&whole).all(|(a, b)| bit_identical(a, b)));
+        assert!(cache.path_for(&key).is_file());
+        assert_eq!(cache.stats().misses, 1);
+
+        // A 3-part sweep hits the monolithic entry the 1-part run left.
+        let got = cache.get_or_compute_parts(&key, n, 3, compute_part);
+        assert!(got.iter().zip(&whole).all(|(a, b)| bit_identical(a, b)));
+        assert_eq!(cache.stats().hits, 1, "monolithic entry serves parts");
+
+        // Cold part-wise sweep under a fresh key: 3 part entries plus
+        // the reunited monolithic entry land on disk.
+        let key2 = CacheKey::new("test/parts").field("seed", 10);
+        let before = cache.stats();
+        let got = cache.get_or_compute_parts(&key2, n, 3, compute_part);
+        assert!(got.iter().zip(&whole).all(|(a, b)| bit_identical(a, b)));
+        assert_eq!(cache.stats().misses - before.misses, 3, "one miss per part");
+        assert_eq!(cache.stats().writes - before.writes, 4, "3 parts + whole");
+        assert!(cache.path_for(&key2).is_file());
+        for p in 1..=3 {
+            let part_key = key2.clone().field("part", Shard::new(p, 3).unwrap());
+            let path = cache.path_for(&part_key);
+            assert!(path.is_file(), "part {p}/3 entry missing");
+            let entry = decode_values(&std::fs::read(&path).unwrap()).unwrap();
+            let want: Vec<usize> = Shard::new(p, 3).unwrap().indices(n).collect();
+            assert_eq!(entry.len(), want.len());
+            for (v, &i) in entry.iter().zip(&want) {
+                assert!(bit_identical(v, &whole[i]), "part {p}/3 item {i}");
+            }
+        }
+
+        // An unsharded lookup now hits the monolithic entry the
+        // part-wise run reunited — fleet caches compose both ways.
+        let before = cache.stats();
+        let got = cache.get_or_compute_parts(&key2, n, 1, |_| unreachable!("must be warm"));
+        assert_eq!(got.len(), n);
+        assert_eq!(cache.stats().hits - before.hits, 1);
+
+        // Warm parts with a cold monolithic entry: delete the whole
+        // entry, keep the parts — every part hits, nothing recomputes.
+        std::fs::remove_file(cache.path_for(&key2)).unwrap();
+        let before = cache.stats();
+        let got = cache.get_or_compute_parts(&key2, n, 3, |_| unreachable!("parts are warm"));
+        assert!(got.iter().zip(&whole).all(|(a, b)| bit_identical(a, b)));
+        assert_eq!(cache.stats().hits - before.hits, 3);
+        assert!(
+            cache.path_for(&key2).is_file(),
+            "reassembly restores the monolithic entry"
+        );
+
+        // Off mode computes everything and touches nothing.
+        let off = OracleCache::new(dir.join("never-created"), CacheMode::Off);
+        let calls = std::cell::Cell::new(0);
+        let got = off.get_or_compute_parts(&key, n, 3, |indices| {
+            calls.set(calls.get() + 1);
+            compute_part(indices)
+        });
+        assert_eq!(calls.get(), 1, "Off computes the full range in one call");
+        assert_eq!(got.len(), n);
+        assert!(!dir.join("never-created").exists());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn part_count_is_in_the_part_key() {
+        // The same sweep sharded 2 ways vs 3 ways must not collide at
+        // part granularity (part 1/2 and part 1/3 own different items).
+        let key = CacheKey::new("test/partkeys");
+        let two = key.clone().field("part", Shard::new(1, 2).unwrap());
+        let three = key.clone().field("part", Shard::new(1, 3).unwrap());
+        assert_ne!(two.digest(), three.digest());
+        assert_ne!(two.digest(), key.digest());
     }
 
     #[test]

@@ -28,7 +28,12 @@
 //! * [`diff`] — tolerance-aware report diffing (the `compstat diff`
 //!   accuracy regression gate);
 //! * [`cache`] — the content-addressed store that persists 256-bit
-//!   oracle sweeps across runs (`.compstat-cache/`, `--no-cache`).
+//!   oracle sweeps across runs (`.compstat-cache/`, `--no-cache`);
+//! * [`archive`] — hand-rolled deterministic ustar archives that make
+//!   the cache fleet-portable (`compstat cache export` / `import`);
+//! * [`merge`] — shard-stamped indexes and the `compstat merge`
+//!   fan-in that reassembles a canonical report directory from
+//!   `run --shard K/N` outputs.
 //!
 //! # Examples
 //!
@@ -56,11 +61,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod accuracy;
+pub mod archive;
 pub mod cache;
 pub mod diff;
 pub mod error;
 pub mod experiment;
 pub mod json;
+pub mod merge;
 pub mod report;
 pub mod sample;
 pub mod scale;
@@ -68,6 +75,7 @@ pub mod statfloat;
 pub mod stats;
 
 pub use accuracy::{figure3_buckets, figure9_buckets, ExponentBucket, OpKind};
+pub use archive::{export_cache, import_cache, ArchiveError, ImportSummary, TarEntry};
 pub use cache::{CacheKey, CacheStats, OracleCache};
 pub use diff::{
     diff_dirs, diff_reports, diff_sets, load_report_dir, DiffReport, DiffStatus, ParsedReport,
@@ -75,6 +83,10 @@ pub use diff::{
 };
 pub use error::{relative_error, ErrorClass, ErrorMeasurement};
 pub use experiment::Experiment;
+pub use merge::{
+    index_doc, index_doc_for_reports, load_shard_index, merge_shard_dirs, IndexEntry, MergeError,
+    MergeSummary, ShardIndex,
+};
 pub use report::{Block, Report, INDEX_SCHEMA, REPORT_SCHEMA};
 pub use scale::Scale;
 pub use statfloat::{FormatKind, StatFloat, MEASURE_PREC};

@@ -115,6 +115,12 @@ where
 /// is stored. Bit-for-bit identical to the uncached sweep either way,
 /// and exactly the uncached sweep under
 /// [`CacheMode::Off`](compstat_runtime::CacheMode).
+///
+/// On a sharded runtime ([`Runtime::shard`]) the sweep is computed and
+/// cached in `N` round-robin **parts** (`key` + `part: K/N`), and
+/// reassembly also stores the monolithic entry — each sequence's
+/// likelihood is independent, so every part holds exactly the bits the
+/// unsharded sweep would have produced for those items.
 #[must_use]
 pub fn forward_oracle_batch_cached<S>(
     model: &Hmm,
@@ -127,8 +133,9 @@ pub fn forward_oracle_batch_cached<S>(
 where
     S: AsRef<[usize]> + Sync,
 {
-    cache.get_or_compute(key, batch.len(), || {
-        forward_oracle_batch(model, batch, ctx, rt)
+    let parts = rt.shard().map_or(1, |s| s.count());
+    cache.get_or_compute_parts(key, batch.len(), parts, |indices| {
+        rt.par_map_at(indices, |i| forward_oracle(model, batch[i].as_ref(), ctx))
     })
 }
 

@@ -93,6 +93,14 @@ pub fn oracle_cache_key(
 /// [`CacheMode::Off`](compstat_runtime::CacheMode) — the sweep runs
 /// through `rt` and the result is stored. Either way the returned
 /// vector is bit-for-bit the uncached sweep's.
+///
+/// On a sharded runtime ([`Runtime::shard`]) the sweep is computed and
+/// cached in `N` round-robin **parts** (`key` + `part: K/N`), each the
+/// exact items shard K of N owns — so a fleet of shards sharing one
+/// cache directory each contributes its own slice, and reassembly also
+/// stores the monolithic entry an unsharded run would look up. Every
+/// column's value is bitwise the unsharded sweep's: per-item work has
+/// no cross-item state.
 #[must_use]
 pub fn oracle_pvalues_cached(
     columns: &[Column],
@@ -101,7 +109,12 @@ pub fn oracle_pvalues_cached(
     cache: &OracleCache,
     key: &CacheKey,
 ) -> Vec<BigFloat> {
-    cache.get_or_compute(key, columns.len(), || oracle_pvalues(columns, ctx, rt))
+    let parts = rt.shard().map_or(1, |s| s.count());
+    cache.get_or_compute_parts(key, columns.len(), parts, |indices| {
+        rt.par_map_at(indices, |i| {
+            pbd_pvalue_oracle(&columns[i].success_probs, columns[i].k, ctx)
+        })
+    })
 }
 
 /// Calls every column in format `T` against precomputed oracle
@@ -221,6 +234,36 @@ mod tests {
             oracle_cache_key("batch-test", "quick", 7, &columns, &Context::new(128)).digest(),
             key.digest()
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_runtime_splits_the_cached_sweep_without_changing_bits() {
+        use compstat_bigfloat::bit_identical;
+        use compstat_runtime::{CacheMode, Shard};
+        let columns = corpus();
+        let ctx = Context::new(256);
+        let plain = Runtime::with_threads(3);
+        let key = oracle_cache_key("shard-test", "quick", 7, &columns, &ctx);
+        let dir =
+            std::env::temp_dir().join(format!("compstat-pbd-shard-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let want = oracle_pvalues(&columns, &ctx, &plain);
+        // A 3-way sharded runtime computes the sweep in 3 cached parts
+        // and reassembles — bit-identical to the unsharded sweep.
+        let cache = OracleCache::new(&dir, CacheMode::ReadWrite);
+        let sharded = plain.with_shard(Shard::new(2, 3).unwrap());
+        let got = oracle_pvalues_cached(&columns, &ctx, &sharded, &cache, &key);
+        assert!(got.iter().zip(&want).all(|(a, b)| bit_identical(a, b)));
+        assert_eq!(cache.stats().misses, 3, "one miss per part");
+        // Part entries and the reunited monolithic entry are on disk,
+        // so a later *unsharded* run hits without recomputing.
+        assert!(cache.path_for(&key).is_file());
+        let warm = OracleCache::new(&dir, CacheMode::ReadWrite);
+        let again = oracle_pvalues_cached(&columns, &ctx, &plain, &warm, &key);
+        assert!(again.iter().zip(&want).all(|(a, b)| bit_identical(a, b)));
+        assert_eq!((warm.stats().hits, warm.stats().misses), (1, 0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

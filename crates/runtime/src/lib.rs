@@ -76,6 +76,203 @@ use std::ops::Range;
 /// they only ever indicate a unit mix-up in `COMPSTAT_THREADS`.
 pub const MAX_THREADS: usize = 4096;
 
+/// Upper bound on a shard count (`--shard K/N`). A fleet wider than
+/// this could not be fed work anyway — the registry and the sweeps top
+/// out far below it — so larger values only ever indicate a mangled
+/// `K/N` spelling.
+pub const MAX_SHARDS: usize = 4096;
+
+/// A rejected shard spelling (see [`Shard::parse`] / [`Shard::new`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardError {
+    /// The verbatim value that was rejected.
+    pub raw: String,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl core::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "shard {:?} is invalid: {} (use K/N with 1 <= K <= N <= {MAX_SHARDS}, \
+             e.g. 2/3 for the second of three shards)",
+            self.raw, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// One shard of a deterministic `K/N` partition.
+///
+/// A shard is the unit of distributed execution: `--shard K/N` names
+/// the `K`-th of `N` equal partitions (1-based, so the spelling on the
+/// command line matches the spelling in a CI matrix). The assignment
+/// rule is **round-robin by index** — shard `K` owns every item `i`
+/// with `i % N == K - 1` — at both granularities the engine shards:
+///
+/// * **registry level**: experiment `j` (in registry order) is run by
+///   shard `(j % N) + 1`, which spreads the three expensive sweeps
+///   (fig09/fig10/fig11, adjacent in registry order) across shards;
+/// * **work-item level**: inside a big sweep, part `p` of `N` computes
+///   the items `p - 1, p - 1 + N, ...`, each from its own
+///   index-derived RNG stream, so any shard computes exactly the bytes
+///   the unsharded sweep would for those items.
+///
+/// The partition is a pure function of `(K, N)` and the item count:
+/// disjoint, complete, and identical across calls, machines, and
+/// thread counts — the property the sharded-union-equals-unsharded
+/// guarantee rests on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Shard {
+    index: usize,
+    count: usize,
+}
+
+impl Shard {
+    /// Builds shard `index` of `count` (both 1-based, `index <= count
+    /// <= MAX_SHARDS`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShardError`] naming the bad combination: a zero
+    /// index or count, an index beyond the count, or a count beyond
+    /// [`MAX_SHARDS`].
+    pub fn new(index: usize, count: usize) -> Result<Shard, ShardError> {
+        let raw = format!("{index}/{count}");
+        if count == 0 {
+            return Err(ShardError {
+                raw,
+                reason: "the shard count N must be at least 1".into(),
+            });
+        }
+        if count > MAX_SHARDS {
+            return Err(ShardError {
+                raw,
+                reason: format!("the shard count {count} exceeds the {MAX_SHARDS}-shard cap"),
+            });
+        }
+        if index == 0 {
+            return Err(ShardError {
+                raw,
+                reason: "shards are numbered from 1, not 0".into(),
+            });
+        }
+        if index > count {
+            return Err(ShardError {
+                raw,
+                reason: format!("the shard index {index} exceeds the shard count {count}"),
+            });
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Parses a `K/N` spelling (`2/3` = the second of three shards).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShardError`] naming the verbatim value when it is
+    /// not two `/`-separated integers, or the integers fail
+    /// [`Shard::new`]'s range checks (`0/3`, `4/3`, `3/0`, ...).
+    pub fn parse(raw: &str) -> Result<Shard, ShardError> {
+        let bad = |reason: &str| ShardError {
+            raw: raw.to_string(),
+            reason: reason.to_string(),
+        };
+        let (k, n) = raw
+            .trim()
+            .split_once('/')
+            .ok_or_else(|| bad("expected the form K/N"))?;
+        let index: usize = k
+            .trim()
+            .parse()
+            .map_err(|_| bad(&format!("the shard index {:?} is not an integer", k.trim())))?;
+        let count: usize = n
+            .trim()
+            .parse()
+            .map_err(|_| bad(&format!("the shard count {:?} is not an integer", n.trim())))?;
+        Shard::new(index, count).map_err(|e| ShardError {
+            raw: raw.to_string(),
+            reason: e.reason,
+        })
+    }
+
+    /// This shard's 1-based index (`K` in `K/N`).
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The total shard count (`N` in `K/N`).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether this shard owns item `i` of a round-robin partition.
+    #[must_use]
+    pub fn owns(&self, i: usize) -> bool {
+        i % self.count == self.index - 1
+    }
+
+    /// The items of `0..n` this shard owns, in ascending order.
+    pub fn indices(&self, n: usize) -> impl Iterator<Item = usize> {
+        (self.index - 1..n).step_by(self.count)
+    }
+
+    /// How many of `0..n` this shard owns.
+    #[must_use]
+    pub fn len_of(&self, n: usize) -> usize {
+        n.saturating_sub(self.index - 1).div_ceil(self.count)
+    }
+
+    /// Reassembles a full result vector from per-shard parts:
+    /// `parts[k - 1]` must hold shard `k/count`'s results in its own
+    /// index order, and the output restores global item order
+    /// (`out[i] = parts[i % count][i / count]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first part whose length does not
+    /// match its share of `n` — a partial or mixed-up part set must
+    /// never silently reassemble.
+    pub fn assemble<T>(count: usize, n: usize, parts: Vec<Vec<T>>) -> Result<Vec<T>, String> {
+        if count == 0 || count > MAX_SHARDS {
+            return Err(format!("bad shard count {count}"));
+        }
+        if parts.len() != count {
+            return Err(format!("{} part(s) for {count} shard(s)", parts.len()));
+        }
+        for (k, part) in parts.iter().enumerate() {
+            let want = Shard {
+                index: k + 1,
+                count,
+            }
+            .len_of(n);
+            if part.len() != want {
+                return Err(format!(
+                    "part {}/{count} holds {} item(s), expected {want} of {n}",
+                    k + 1,
+                    part.len()
+                ));
+            }
+        }
+        let mut iters: Vec<_> = parts.into_iter().map(Vec::into_iter).collect();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(iters[i % count].next().expect("length checked above"));
+        }
+        Ok(out)
+    }
+}
+
+impl core::fmt::Display for Shard {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
 /// Whether oracle sweeps may read and write the persistent cache.
 ///
 /// Carried by the [`Runtime`] so the experiment engine threads one
@@ -172,6 +369,7 @@ fn parse_threads_env(raw: &str) -> Result<Option<usize>, ThreadsEnvError> {
 pub struct Runtime {
     threads: usize,
     cache: CacheMode,
+    shard: Option<Shard>,
 }
 
 impl Runtime {
@@ -221,6 +419,7 @@ impl Runtime {
         Runtime {
             threads,
             cache: CacheMode::Off,
+            shard: None,
         }
     }
 
@@ -242,6 +441,24 @@ impl Runtime {
     #[must_use]
     pub fn cache_mode(&self) -> CacheMode {
         self.cache
+    }
+
+    /// Returns this runtime stamped with a distributed-run shard
+    /// (builder style). The shard never changes what a sweep computes
+    /// — results stay bitwise-identical to an unsharded run — it only
+    /// tells shard-aware consumers (the experiment engine's
+    /// registry partition, the oracle cache's part-wise sweeps) which
+    /// `K/N` slice of the fleet this process is.
+    #[must_use]
+    pub fn with_shard(mut self, shard: Shard) -> Runtime {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// The distributed-run shard carried by this runtime, if any.
+    #[must_use]
+    pub fn shard(&self) -> Option<Shard> {
+        self.shard
     }
 
     /// The resolved thread budget (always at least 1).
@@ -291,6 +508,44 @@ impl Runtime {
         self.run_chunks(n, |range| {
             range
                 .map(|i| {
+                    let mut rng = base.split(i as u64);
+                    f(i, &mut rng)
+                })
+                .collect()
+        })
+    }
+
+    /// Maps `f` over an explicit list of *global* item indices,
+    /// returning results aligned with `indices` — the shard-aware
+    /// subset map behind part-wise sweeps.
+    ///
+    /// `f(i)` receives the global index, so an item computes the exact
+    /// bytes it would in a full [`Runtime::par_map_index`] sweep no
+    /// matter which subset (or machine) it runs in.
+    pub fn par_map_at<U, F>(&self, indices: &[usize], f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        self.run_chunks(indices.len(), |range| {
+            indices[range].iter().map(|&i| f(i)).collect()
+        })
+    }
+
+    /// [`Runtime::par_map_seeded`] over an explicit list of *global*
+    /// item indices: item `i` draws from `base.split(i)` exactly as the
+    /// full sweep would, so a shard's slice of a randomized sweep is
+    /// bitwise-identical to the same items of the unsharded run — the
+    /// invariant that makes distributed sweep results safe to reunite.
+    pub fn par_map_seeded_at<U, F>(&self, indices: &[usize], base: &StdRng, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize, &mut StdRng) -> U + Sync,
+    {
+        self.run_chunks(indices.len(), |range| {
+            indices[range]
+                .iter()
+                .map(|&i| {
                     let mut rng = base.split(i as u64);
                     f(i, &mut rng)
                 })
@@ -467,6 +722,96 @@ mod tests {
             .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
             .expect("panic payload is a message");
         assert!(msg.contains("item 61 exploded"), "payload: {msg}");
+    }
+
+    #[test]
+    fn shard_parse_accepts_every_valid_spelling() {
+        let s = Shard::parse("2/3").unwrap();
+        assert_eq!((s.index(), s.count()), (2, 3));
+        assert_eq!(s.to_string(), "2/3");
+        assert_eq!(Shard::parse(" 1/1 ").unwrap(), Shard::new(1, 1).unwrap());
+        assert_eq!(
+            Shard::parse(&format!("{MAX_SHARDS}/{MAX_SHARDS}"))
+                .unwrap()
+                .count(),
+            MAX_SHARDS
+        );
+    }
+
+    #[test]
+    fn shard_parse_rejects_garbage_naming_the_value() {
+        for bad in [
+            "0/3", "4/3", "a/b", "3/0", "3", "", "1/2/3", "-1/3", "1/99999",
+        ] {
+            let err = Shard::parse(bad).expect_err(bad);
+            assert_eq!(err.raw, bad, "{bad}");
+            assert!(err.to_string().contains(&format!("{bad:?}")), "{err}");
+        }
+    }
+
+    #[test]
+    fn shard_round_robin_partitions_any_range() {
+        for n in [0, 1, 7, 100] {
+            for count in [1, 2, 3, 5, 8] {
+                let mut seen = vec![false; n];
+                for k in 1..=count {
+                    let shard = Shard::new(k, count).unwrap();
+                    let owned: Vec<usize> = shard.indices(n).collect();
+                    assert_eq!(owned.len(), shard.len_of(n), "{k}/{count} over {n}");
+                    for i in owned {
+                        assert!(shard.owns(i));
+                        assert!(!seen[i], "item {i} owned twice ({k}/{count})");
+                        seen[i] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "incomplete partition {count}/{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_assemble_restores_global_order() {
+        let n = 11;
+        let count = 3;
+        let parts: Vec<Vec<usize>> = (1..=count)
+            .map(|k| Shard::new(k, count).unwrap().indices(n).collect())
+            .collect();
+        let whole = Shard::assemble(count, n, parts).unwrap();
+        assert_eq!(whole, (0..n).collect::<Vec<_>>());
+
+        // A short part must be rejected, not silently misassembled.
+        let mut bad: Vec<Vec<usize>> = (1..=count)
+            .map(|k| Shard::new(k, count).unwrap().indices(n).collect())
+            .collect();
+        bad[1].pop();
+        let err = Shard::assemble(count, n, bad).unwrap_err();
+        assert!(err.contains("part 2/3"), "{err}");
+        assert!(Shard::assemble(count, n, vec![vec![0usize]]).is_err());
+    }
+
+    #[test]
+    fn subset_maps_match_the_full_sweep_itemwise() {
+        let base = StdRng::seed_from_u64(42);
+        let full = Runtime::serial().par_map_seeded(50, &base, |i, rng| (i, rng.gen::<u64>()));
+        let plain: Vec<usize> = Runtime::serial().par_map_index(50, |i| i * 3);
+        for count in [1, 2, 3, 5] {
+            for k in 1..=count {
+                let shard = Shard::new(k, count).unwrap();
+                let indices: Vec<usize> = shard.indices(50).collect();
+                for threads in [1, 4] {
+                    let rt = Runtime::with_threads(threads).with_shard(shard);
+                    assert_eq!(rt.shard(), Some(shard));
+                    let sub = rt.par_map_seeded_at(&indices, &base, |i, rng| (i, rng.gen::<u64>()));
+                    for (pos, &i) in indices.iter().enumerate() {
+                        assert_eq!(sub[pos], full[i], "seeded item {i} ({k}/{count})");
+                    }
+                    let sub_plain = rt.par_map_at(&indices, |i| i * 3);
+                    for (pos, &i) in indices.iter().enumerate() {
+                        assert_eq!(sub_plain[pos], plain[i]);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! The distributed-run invariant, end to end: for any shard count N,
+//! running the registry as N separate `--shard K/N` runs and merging
+//! the outputs produces **byte-for-byte** the directory an unsharded
+//! run writes — same report bytes, same canonical `index.json` — at
+//! mixed thread counts.
+//!
+//! Everything here goes through the same library surfaces the CLI
+//! uses: `registry_shard` for the selection, `Runtime::with_shard` for
+//! the work-item partition inside the big oracle sweeps,
+//! `index_doc_for_reports` for the (stamped) indexes, and
+//! `merge_shard_dirs` for the fan-in.
+
+use compstat_bench::registry::{registry, registry_shard};
+use compstat_core::cache::write_atomic;
+use compstat_core::merge::{index_doc_for_reports, load_shard_index, merge_shard_dirs};
+use compstat_core::{Report, Scale};
+use compstat_runtime::{CacheMode, Runtime, Shard};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Writes a report directory exactly the way `compstat run --out`
+/// does: one JSON document per report, then the (optionally
+/// shard-stamped) index, atomically, index last.
+fn write_report_dir(dir: &Path, shard: Option<Shard>, reports: &[Report]) {
+    std::fs::create_dir_all(dir).unwrap();
+    for report in reports {
+        let path = dir.join(format!("{}.json", report.name));
+        write_atomic(&path, report.to_json_string().as_bytes()).unwrap();
+    }
+    let mut text = index_doc_for_reports(Scale::Quick, shard, reports).to_json_string();
+    text.push('\n');
+    write_atomic(&dir.join("index.json"), text.as_bytes()).unwrap();
+}
+
+/// Every file in `dir` (flat — report dirs have no subdirectories),
+/// name → bytes.
+fn dir_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        assert!(path.is_file(), "unexpected subdirectory {}", path.display());
+        let name = path.file_name().unwrap().to_str().unwrap().to_string();
+        out.insert(name, std::fs::read(&path).unwrap());
+    }
+    out
+}
+
+#[test]
+fn merged_shard_runs_are_byte_identical_to_unsharded_for_many_n() {
+    // One shared cache directory for the whole test, like a fleet
+    // sharing a warm store: the unsharded pass populates it, so the
+    // 11 sharded registry passes below serve their oracle sweeps from
+    // monolithic cache hits instead of recomputing them (the sweeps'
+    // bit-identity under sharding is proven separately, at the
+    // runtime/pbd level and by the CLI's cold-cache e2e test).
+    let root = std::env::temp_dir().join(format!("compstat-sharded-runs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::env::set_var("COMPSTAT_CACHE_DIR", root.join("oracle-cache"));
+
+    let scale = Scale::Quick;
+    let unsharded_dir = root.join("unsharded");
+    let rt = Runtime::with_threads(4).with_cache_mode(CacheMode::ReadWrite);
+    let reports: Vec<Report> = registry().iter().map(|e| e.run(&rt, scale)).collect();
+    write_report_dir(&unsharded_dir, None, &reports);
+    let want = dir_bytes(&unsharded_dir);
+    assert_eq!(want.len(), registry().len() + 1, "17 reports + index.json");
+
+    for n in [1usize, 2, 3, 5] {
+        let mut shard_dirs: Vec<PathBuf> = Vec::new();
+        for k in 1..=n {
+            let shard = Shard::new(k, n).unwrap();
+            // Mixed thread counts across shards: byte-identity must
+            // not depend on any shard's parallelism.
+            let rt = Runtime::with_threads(1 + (k + n) % 3)
+                .with_cache_mode(CacheMode::ReadWrite)
+                .with_shard(shard);
+            let mine: Vec<Report> = registry_shard(shard)
+                .iter()
+                .map(|e| e.run(&rt, scale))
+                .collect();
+            let dir = root.join(format!("n{n}-shard-{k}"));
+            write_report_dir(&dir, Some(shard), &mine);
+            // The shard dir carries its stamp.
+            let index = load_shard_index(&dir).unwrap();
+            assert_eq!(index.shard, Some(shard));
+            assert_eq!(index.scale, "quick");
+            shard_dirs.push(dir);
+        }
+
+        // Merge (in reversed argument order — it must not matter) and
+        // compare every byte against the unsharded directory.
+        shard_dirs.reverse();
+        let merged = root.join(format!("n{n}-merged"));
+        let summary = merge_shard_dirs(&shard_dirs, &merged).unwrap();
+        assert_eq!(summary.shards, n);
+        assert_eq!(summary.experiments, registry().len());
+        let got = dir_bytes(&merged);
+        assert_eq!(
+            got.keys().collect::<Vec<_>>(),
+            want.keys().collect::<Vec<_>>(),
+            "N={n}: merged directory lists different files"
+        );
+        for (name, bytes) in &want {
+            assert_eq!(
+                got.get(name).unwrap(),
+                bytes,
+                "N={n}: {name} differs between merged and unsharded"
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}
