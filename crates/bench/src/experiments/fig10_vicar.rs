@@ -26,10 +26,11 @@ use rand::SeedableRng;
 /// output**, or stale cache entries will be served.
 pub const ORACLE_KERNEL_TAG: &str = "vicar-dirichlet-forward-oracle/v1";
 
-/// Number of observation symbols in the VICAR models.
-const SYMBOLS: usize = 16;
+/// Number of observation symbols in the VICAR models (public so the
+/// `compstat bench` timing suite can reproduce the exact oracle sweep).
+pub const SYMBOLS: usize = 16;
 /// Dirichlet concentration of the sampled (A, B) rows.
-const ALPHA: f64 = 0.8;
+pub const ALPHA: f64 = 0.8;
 
 /// Error samples for one sequence length.
 #[derive(Clone, Debug)]
@@ -130,6 +131,21 @@ pub fn oracle_cache_key(
         .field("prec", ctx.prec())
 }
 
+/// The scale-determined workload of the figure:
+/// `(t_short, t_long, models, states)`. Shared with the `compstat
+/// bench` timing suite so its `oracle/fig10` entry times exactly the
+/// sweep the experiment runs.
+#[must_use]
+pub fn scale_params(scale: Scale) -> (usize, usize, usize, usize) {
+    // Stand-ins for the paper's T = 100,000 and 500,000.
+    let (t1, t2) = match scale {
+        Scale::Quick => (1_500, 4_000),
+        Scale::Default => (8_000, 30_000),
+        Scale::Full => (100_000, 500_000),
+    };
+    (t1, t2, scale.pick(4, 10, 128), scale.pick(4, 8, 13))
+}
+
 /// Registry name of this experiment.
 pub const NAME: &str = "fig10";
 /// Registry title of this experiment.
@@ -139,14 +155,7 @@ pub const TITLE: &str = "Figure 10: CDFs of VICAR likelihood relative error (Log
 /// statistic (fraction of results with relative error < 1e-8).
 #[must_use]
 pub fn report(scale: Scale, rt: &Runtime) -> Report {
-    // Stand-ins for the paper's T = 100,000 and 500,000.
-    let (t1, t2) = match scale {
-        Scale::Quick => (1_500, 4_000),
-        Scale::Default => (8_000, 30_000),
-        Scale::Full => (100_000, 500_000),
-    };
-    let models = scale.pick(4, 10, 128);
-    let h = scale.pick(4, 8, 13);
+    let (t1, t2, models, h) = scale_params(scale);
 
     let mut r = Report::new(NAME, TITLE, scale)
         .param("t_short", t1)

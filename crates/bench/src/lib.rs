@@ -20,6 +20,7 @@ pub mod experiments;
 pub mod registry;
 pub mod reports;
 pub mod scale;
+pub mod timing;
 
 pub use registry::{find, registry};
 pub use scale::Scale;

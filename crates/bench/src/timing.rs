@@ -1,0 +1,324 @@
+//! Wall-clock timing suites behind `compstat bench`.
+//!
+//! Everything else this workspace emits is deterministic by contract;
+//! these suites are the deliberate exception. They measure how long the
+//! kernels actually take on the current host and package the results as
+//! [`BenchDoc`]s (schema `compstat-bench/v1`, stamped
+//! `non_deterministic: true`), which never enter a report directory and
+//! therefore never reach the `compstat diff` gate.
+//!
+//! Two suites:
+//!
+//! * [`bigfloat_suite`] — serial micro-benchmarks of the arbitrary-
+//!   precision kernels (`add`/`mul`/`div` at 128/256/1024 bits), plus
+//!   the retired bit-by-bit restoring division as a baseline row so a
+//!   single run shows the Knuth-D speedup;
+//! * [`oracle_suite`] — the end-to-end 256-bit oracle passes the
+//!   figures pay for: the shared Figure 9/11 p-value sweep and the
+//!   Figure 10 VICAR forward sweep, run cache-off so the arithmetic is
+//!   actually exercised.
+//!
+//! Timing methodology: each entry runs `iters` iterations per
+//! repetition, `reps` repetitions after one untimed warm-up, and
+//! summarizes ns/op as min / median / mean. Results feed
+//! [`std::hint::black_box`] so the optimizer cannot delete the work.
+
+use crate::experiments::{fig09_pvalues, fig10_vicar};
+use crate::Scale;
+use compstat_bigfloat::{testing, BigFloat, Context};
+use compstat_core::bench_doc::{BenchDoc, BenchEntry};
+use compstat_runtime::{CacheMode, Runtime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times one operation: one untimed warm-up repetition, then `reps`
+/// timed repetitions of `iters` calls each, summarized in ns per call.
+///
+/// # Panics
+///
+/// Panics if `iters` or `reps` is zero (the summary would be empty).
+#[must_use]
+pub fn time_entry(id: &str, iters: u64, reps: u32, mut op: impl FnMut()) -> BenchEntry {
+    assert!(iters > 0 && reps > 0, "empty measurement for {id:?}");
+    for _ in 0..iters {
+        op();
+    }
+    let mut per_rep = Vec::with_capacity(reps as usize);
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        per_rep.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    per_rep.sort_by(f64::total_cmp);
+    let n = per_rep.len();
+    let median = if n % 2 == 1 {
+        per_rep[n / 2]
+    } else {
+        (per_rep[n / 2 - 1] + per_rep[n / 2]) / 2.0
+    };
+    BenchEntry {
+        id: id.to_string(),
+        iters,
+        reps,
+        min_ns: per_rep[0],
+        median_ns: median,
+        mean_ns: per_rep.iter().sum::<f64>() / n as f64,
+    }
+}
+
+/// Wall-clock milliseconds since the Unix epoch (0 if the clock is
+/// before the epoch — bench documents are diagnostics, not evidence).
+#[must_use]
+pub fn unix_ms_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+}
+
+/// A deterministic pool of full-width `prec`-bit operands with
+/// exponents spread over ±500, built through the public exact API (same
+/// construction as the kernel differential tests).
+fn operand_pool(prec: u32, count: usize, mut state: u64) -> Vec<BigFloat> {
+    let mut splitmix = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let nl = (prec as usize).div_ceil(64);
+    let build = Context::new((nl as u32) * 64);
+    (0..count)
+        .map(|_| {
+            let mut acc = BigFloat::zero();
+            for i in 0..nl {
+                let mut limb = splitmix();
+                if i == 0 {
+                    limb |= 1 << 63;
+                }
+                acc = build.add(&acc.mul_pow2(64), &BigFloat::from_u64(limb));
+            }
+            acc.round_to(prec)
+                .mul_pow2((splitmix() % 1001) as i64 - 500)
+        })
+        .collect()
+}
+
+/// The bigfloat precisions the suite times.
+pub const BIGFLOAT_PRECS: [u32; 3] = [128, 256, 1024];
+
+/// Builds the bigfloat kernel suite: `add`/`mul`/`div` at each of
+/// [`BIGFLOAT_PRECS`], plus a `div-restoring` baseline row per
+/// precision (the retired bit-by-bit division, kept callable exactly so
+/// the Knuth-D speedup stays measurable from one binary).
+///
+/// The kernels are serial, so the document's `threads` is always 1.
+#[must_use]
+pub fn bigfloat_suite(scale: Scale) -> BenchDoc {
+    let reps = scale.pick(5, 7, 9) as u32;
+    // Iteration budget per repetition, scaled down for the slower
+    // precisions and kernels so one suite stays interactive at every
+    // scale.
+    let base = scale.pick(2_000, 10_000, 40_000) as u64;
+    let mut entries = Vec::new();
+    for prec in BIGFLOAT_PRECS {
+        let pool = operand_pool(prec, 64, 0xBE7C_0000 + u64::from(prec));
+        let ctx = Context::new(prec);
+        let cost = u64::from(prec / 128).max(1);
+        let mut cursor = 0usize;
+        let mut pairs = move || {
+            cursor = (cursor + 1) % (pool.len() - 1);
+            (pool[cursor].clone(), pool[cursor + 1].clone())
+        };
+        let (a, b) = pairs();
+        entries.push(time_entry(
+            &format!("bigfloat/add/{prec}"),
+            (base / cost).max(64),
+            reps,
+            || {
+                black_box(ctx.add(black_box(&a), black_box(&b)));
+            },
+        ));
+        let (a, b) = pairs();
+        entries.push(time_entry(
+            &format!("bigfloat/mul/{prec}"),
+            (base / cost).max(64),
+            reps,
+            || {
+                black_box(ctx.mul(black_box(&a), black_box(&b)));
+            },
+        ));
+        let (a, b) = pairs();
+        entries.push(time_entry(
+            &format!("bigfloat/div/{prec}"),
+            (base / (4 * cost)).max(64),
+            reps,
+            || {
+                black_box(ctx.div(black_box(&a), black_box(&b)));
+            },
+        ));
+        let (a, b) = pairs();
+        entries.push(time_entry(
+            &format!("bigfloat/div-restoring/{prec}"),
+            (base / (16 * cost * cost)).max(16),
+            reps,
+            || {
+                black_box(testing::div_restoring(black_box(&a), black_box(&b), prec));
+            },
+        ));
+    }
+    BenchDoc {
+        suite: "bigfloat".into(),
+        scale: scale.as_str().into(),
+        threads: 1,
+        unix_ms: unix_ms_now(),
+        entries,
+    }
+}
+
+/// Builds the oracle-pass suite: the 256-bit sweeps behind the
+/// accuracy figures, timed end to end with the cache forced off (a
+/// cache hit would time disk reads, not arithmetic).
+///
+/// Entries:
+///
+/// * `oracle/fig09-fig11` — the p-value sweep over the shared
+///   Figure 9/11 accuracy corpus (one sweep serves both figures, so it
+///   is one entry);
+/// * `oracle/fig10` — the Figure 10 VICAR forward sweep at the scale's
+///   short sequence length, exactly the work `fig10`'s report pays for
+///   per panel.
+#[must_use]
+pub fn oracle_suite(scale: Scale, rt: &Runtime) -> BenchDoc {
+    let rt = rt.with_cache_mode(CacheMode::Off);
+    let reps = scale.pick(3, 5, 5) as u32;
+    let ctx = Context::new(256);
+    let mut entries = Vec::new();
+
+    let corpus = fig09_pvalues::corpus_for(scale);
+    entries.push(time_entry("oracle/fig09-fig11", 1, reps, || {
+        black_box(compstat_pbd::batch::oracle_pvalues(
+            black_box(&corpus),
+            &ctx,
+            &rt,
+        ));
+    }));
+
+    let (t_len, _, models, h) = fig10_vicar::scale_params(scale);
+    let base = StdRng::seed_from_u64(0xF16_0000 + t_len as u64);
+    entries.push(time_entry("oracle/fig10", 1, reps, || {
+        black_box(rt.par_map_seeded(models, &base, |_, stream| {
+            let model =
+                compstat_hmm::dirichlet_hmm(stream, h, fig10_vicar::SYMBOLS, fig10_vicar::ALPHA);
+            let obs = compstat_hmm::uniform_observations(stream, fig10_vicar::SYMBOLS, t_len);
+            compstat_hmm::forward_oracle(&model, &obs, &ctx)
+        }));
+    }));
+
+    BenchDoc {
+        suite: "oracle".into(),
+        scale: scale.as_str().into(),
+        threads: rt.threads(),
+        unix_ms: unix_ms_now(),
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compstat_core::json::Json;
+
+    #[test]
+    fn time_entry_summarizes_sanely() {
+        let mut calls = 0u64;
+        let e = time_entry("demo/op", 10, 4, || calls += 1);
+        // One warm-up repetition plus four timed ones.
+        assert_eq!(calls, 50);
+        assert_eq!((e.iters, e.reps), (10, 4));
+        assert!(e.min_ns <= e.median_ns && e.min_ns <= e.mean_ns);
+        assert!(e.min_ns >= 0.0 && e.mean_ns.is_finite());
+    }
+
+    #[test]
+    fn operand_pools_are_deterministic_and_full_width() {
+        let a = operand_pool(256, 8, 7);
+        let b = operand_pool(256, 8, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert!(compstat_bigfloat::bit_identical(x, y));
+            assert_eq!(x.precision(), 256);
+        }
+        assert!(!compstat_bigfloat::bit_identical(&a[0], &a[1]));
+    }
+
+    /// One tiny end-to-end document per suite: every entry id present,
+    /// and the emitted JSON survives the validating parser. Runs the
+    /// real suites at tiny budgets by reusing their building blocks
+    /// rather than paying quick-scale oracle passes in a unit test.
+    #[test]
+    fn suite_documents_validate() {
+        let ctx = Context::new(128);
+        let pool = operand_pool(128, 4, 1);
+        let doc = BenchDoc {
+            suite: "bigfloat".into(),
+            scale: "quick".into(),
+            threads: 1,
+            unix_ms: unix_ms_now(),
+            entries: vec![time_entry("bigfloat/div/128", 8, 3, || {
+                black_box(ctx.div(&pool[0], &pool[1]));
+            })],
+        };
+        let parsed = Json::parse(&doc.to_json_string()).expect("parses");
+        let back = BenchDoc::from_json(&parsed).expect("validates");
+        assert_eq!(back.entries[0].id, "bigfloat/div/128");
+    }
+
+    #[test]
+    fn bigfloat_suite_covers_every_kernel_and_precision() {
+        // Tiny custom pass over the suite's id grid (the real suite's
+        // iteration budgets are for release-mode benchmarking).
+        let doc = bigfloat_suite_smoke();
+        for prec in BIGFLOAT_PRECS {
+            for op in ["add", "mul", "div", "div-restoring"] {
+                let id = format!("bigfloat/{op}/{prec}");
+                assert!(doc.entries.iter().any(|e| e.id == id), "missing {id}");
+            }
+        }
+        assert!(BenchDoc::from_json(&doc.to_json()).is_ok());
+    }
+
+    /// The suite's entry grid at the smallest budgets that still
+    /// measure (the real [`bigfloat_suite`] iteration counts are sized
+    /// for release-mode benchmarking, not a debug unit test).
+    fn bigfloat_suite_smoke() -> BenchDoc {
+        let entries = BIGFLOAT_PRECS
+            .iter()
+            .flat_map(|&prec| {
+                let pool = operand_pool(prec, 4, u64::from(prec));
+                let ctx = Context::new(prec);
+                ["add", "mul", "div", "div-restoring"].map(|op| {
+                    let (a, b) = (&pool[0], &pool[1]);
+                    time_entry(&format!("bigfloat/{op}/{prec}"), 2, 2, || {
+                        black_box(match op {
+                            "add" => ctx.add(a, b),
+                            "mul" => ctx.mul(a, b),
+                            "div" => ctx.div(a, b),
+                            _ => testing::div_restoring(a, b, prec),
+                        });
+                    })
+                })
+            })
+            .collect();
+        BenchDoc {
+            suite: "bigfloat".into(),
+            scale: "quick".into(),
+            threads: 1,
+            unix_ms: unix_ms_now(),
+            entries,
+        }
+    }
+}

@@ -4,8 +4,17 @@
 //! nearest, ties to even) in a single rounding step — there is no double
 //! rounding. Working arrays keep at least `prec + 66` bits plus a sticky
 //! bit, which is sufficient for correct RNE results of `+ - * /`.
+//!
+//! Two kernel tiers sit below the `Context` API. Operands that fit the
+//! hot fixed widths (anything up to 256-bit precision) route through
+//! the allocation-free const-generic kernels in [`crate::limb::fixed`];
+//! everything else falls back to the general slice kernels. Division is
+//! word-at-a-time ([`crate::limb::div_rem_knuth`]) at every width. The
+//! tiers are bit-identical by construction — both feed the single
+//! rounding point — and are cross-checked by differential tests (see
+//! `testing`).
 
-use crate::limb;
+use crate::limb::{self, Limb};
 use crate::repr::{BigFloat, Kind, Sign, DEFAULT_PREC, MAX_PREC, MIN_PREC};
 
 /// An arithmetic context carrying the target precision.
@@ -118,6 +127,16 @@ fn place_with_headroom(src: &[u64], wl: usize) -> Vec<u64> {
 }
 
 fn add_signed(a: &BigFloat, b: &BigFloat, negate_b: bool, prec: u32) -> BigFloat {
+    add_signed_with(a, b, negate_b, prec, false)
+}
+
+fn add_signed_with(
+    a: &BigFloat,
+    b: &BigFloat,
+    negate_b: bool,
+    prec: u32,
+    force_general: bool,
+) -> BigFloat {
     let (sa, ka, ea, la, _) = a.parts();
     let (sb0, kb, eb, lb, _) = b.parts();
     let sb = if negate_b && !matches!(kb, Kind::Zero | Kind::Nan) {
@@ -157,6 +176,31 @@ fn add_signed(a: &BigFloat, b: &BigFloat, negate_b: bool, prec: u32) -> BigFloat
         (sb, eb, lb, sa, ea, la)
     };
 
+    // Fixed-width fast paths: everything up to 256-bit precision with
+    // operands no wider than the target stays on the stack.
+    if !force_general {
+        match lx.len().max(ly.len()).max(nlimbs(prec)) + 2 {
+            3 => return add_core_fixed::<3>(sx, ex, lx, sy, ey, ly, prec),
+            4 => return add_core_fixed::<4>(sx, ex, lx, sy, ey, ly, prec),
+            5 => return add_core_fixed::<5>(sx, ex, lx, sy, ey, ly, prec),
+            6 => return add_core_fixed::<6>(sx, ex, lx, sy, ey, ly, prec),
+            _ => {}
+        }
+    }
+    add_core_general(sx, ex, lx, sy, ey, ly, prec)
+}
+
+/// The magnitude add/sub core over heap buffers of `wl` limbs — the
+/// general path for arbitrary widths.
+fn add_core_general(
+    sx: Sign,
+    ex: i64,
+    lx: &[u64],
+    sy: Sign,
+    ey: i64,
+    ly: &[u64],
+    prec: u32,
+) -> BigFloat {
     let wl = lx.len().max(ly.len()).max(nlimbs(prec)) + 2;
     let top_pos = wl as u64 * 64 - 2;
     let ax = place_with_headroom(lx, wl);
@@ -203,8 +247,71 @@ fn add_signed(a: &BigFloat, b: &BigFloat, negate_b: bool, prec: u32) -> BigFloat
     let Some(h) = limb::highest_bit(&out) else {
         return BigFloat::special(Kind::Zero, Sign::Pos, prec);
     };
-    let exp_of_top = ex - (top_pos as i64 - h as i64);
-    BigFloat::from_raw(sx, exp_of_top, out, sticky, prec)
+    let exp_of_top = ex as i128 - (top_pos as i128 - h as i128);
+    BigFloat::from_raw_wide(sx, exp_of_top, out, sticky, prec)
+}
+
+/// The same magnitude add/sub core over `[u64; W]` stack buffers —
+/// mirrors `add_core_general` step for step so results are identical,
+/// but with no heap traffic and unrolled limb loops.
+fn add_core_fixed<const W: usize>(
+    sx: Sign,
+    ex: i64,
+    lx: &[u64],
+    sy: Sign,
+    ey: i64,
+    ly: &[u64],
+    prec: u32,
+) -> BigFloat {
+    debug_assert!(lx.len() < W && ly.len() < W);
+    let top_pos = W as u64 * 64 - 2;
+    let mut ax = [0u64; W];
+    ax[W - lx.len()..].copy_from_slice(lx);
+    let s = limb::shr_in_place_sticky(&mut ax, 1);
+    debug_assert!(!s, "normalized operand had a set LSB beyond range");
+    let mut ay = [0u64; W];
+    ay[W - ly.len()..].copy_from_slice(ly);
+    let s = limb::shr_in_place_sticky(&mut ay, 1);
+    debug_assert!(!s, "normalized operand had a set LSB beyond range");
+    let d = ex.checked_sub(ey).map(|d| d as u64);
+    let sticky_y = match d {
+        Some(d) if d <= top_pos => limb::shr_in_place_sticky(&mut ay, d as u32),
+        _ => {
+            ay = [0u64; W];
+            true
+        }
+    };
+
+    let mut sticky = sticky_y;
+    let out = if sx == sy {
+        let (out, carry) = limb::fixed::add(&ax, &ay);
+        debug_assert!(!carry, "headroom bit absorbed the carry");
+        out
+    } else {
+        if limb::fixed::cmp(&ax, &ay) == core::cmp::Ordering::Equal && !sticky_y {
+            return BigFloat::special(Kind::Zero, Sign::Pos, prec);
+        }
+        let (diff, borrow) = limb::fixed::sub(&ax, &ay);
+        debug_assert!(!borrow, "subtrahend exceeded minuend");
+        if sticky_y {
+            // See add_core_general: (out-1) + (1-epsilon) keeps the
+            // discarded residue positive for the sticky bit.
+            let mut one = [0u64; W];
+            one[0] = 1;
+            let (dec, borrow) = limb::fixed::sub(&diff, &one);
+            debug_assert!(!borrow);
+            sticky = true;
+            dec
+        } else {
+            diff
+        }
+    };
+
+    let Some(h) = limb::highest_bit(&out) else {
+        return BigFloat::special(Kind::Zero, Sign::Pos, prec);
+    };
+    let exp_of_top = ex as i128 - (top_pos as i128 - h as i128);
+    BigFloat::from_raw_wide(sx, exp_of_top, out.to_vec(), sticky, prec)
 }
 
 fn cmp_magnitude(a: &[u64], b: &[u64]) -> core::cmp::Ordering {
@@ -236,6 +343,10 @@ fn cmp_magnitude(a: &[u64], b: &[u64]) -> core::cmp::Ordering {
 }
 
 fn mul_impl(a: &BigFloat, b: &BigFloat, prec: u32) -> BigFloat {
+    mul_impl_with(a, b, prec, false)
+}
+
+fn mul_impl_with(a: &BigFloat, b: &BigFloat, prec: u32, force_general: bool) -> BigFloat {
     let (sa, ka, ea, la, _) = a.parts();
     let (sb, kb, eb, lb, _) = b.parts();
     let sign = sa.xor(sb);
@@ -248,45 +359,99 @@ fn mul_impl(a: &BigFloat, b: &BigFloat, prec: u32) -> BigFloat {
         (Kind::Zero, _) | (_, Kind::Zero) => return BigFloat::special(Kind::Zero, Sign::Pos, prec),
         (Kind::Normal, Kind::Normal) => {}
     }
+    // The significand product is exact in every tier; the fixed-width
+    // kernels just do it without heap allocation or length dispatch.
+    let out: Vec<u64> = match (la.len(), lb.len()) {
+        _ if force_general => mul_slices(la, lb),
+        (1, 1) => {
+            let (lo, hi) = Limb::widening_mul(la[0], lb[0]);
+            vec![lo, hi]
+        }
+        (2, 2) => {
+            let a2: &[u64; 2] = la.try_into().expect("len checked");
+            let b2: &[u64; 2] = lb.try_into().expect("len checked");
+            limb::fixed::mul::<u64, 2, 4>(a2, b2).to_vec()
+        }
+        (4, 4) => {
+            let a4: &[u64; 4] = la.try_into().expect("len checked");
+            let b4: &[u64; 4] = lb.try_into().expect("len checked");
+            limb::fixed::mul::<u64, 4, 8>(a4, b4).to_vec()
+        }
+        _ => mul_slices(la, lb),
+    };
+    let top_a = la.len() as i128 * 64 - 1;
+    let top_b = lb.len() as i128 * 64 - 1;
+    let h = limb::highest_bit(&out).expect("product of normals is nonzero");
+    // Exponents combine in i128: |ea + eb| plus bit-index adjustments
+    // cannot overflow it, and from_raw_wide saturates to Inf/Zero when
+    // the final exponent leaves the i64 range.
+    let exp_of_top = ea as i128 + eb as i128 - top_a - top_b + h as i128;
+    BigFloat::from_raw_wide(sign, exp_of_top, out, false, prec)
+}
+
+fn mul_slices(la: &[u64], lb: &[u64]) -> Vec<u64> {
     let mut out = vec![0u64; la.len() + lb.len()];
     limb::mul(la, lb, &mut out);
-    let top_a = la.len() as i64 * 64 - 1;
-    let top_b = lb.len() as i64 * 64 - 1;
-    let h = limb::highest_bit(&out).expect("product of normals is nonzero");
-    let exp_of_top = match ea.checked_add(eb) {
-        Some(e) => e - top_a - top_b + h as i64,
-        None => {
-            return if (ea > 0) == (eb > 0) {
-                // Both huge in the same direction: overflow.
-                if ea > 0 {
-                    BigFloat::special(Kind::Inf, sign, prec)
-                } else {
-                    BigFloat::special(Kind::Zero, Sign::Pos, prec)
-                }
-            } else {
-                // Opposite huge exponents cancel; cannot overflow i64 in
-                // practice because |ea|,|eb| <= i64::MAX/2 is enforced
-                // nowhere, but reaching here requires astronomic inputs.
-                BigFloat::special(Kind::Nan, Sign::Pos, prec)
-            };
-        }
-    };
-    BigFloat::from_raw(sign, exp_of_top, out, false, prec)
+    out
+}
+
+fn div_specials(ka: Kind, kb: Kind, sign: Sign, prec: u32) -> Option<BigFloat> {
+    match (ka, kb) {
+        (Kind::Nan, _) | (_, Kind::Nan) => Some(BigFloat::special(Kind::Nan, Sign::Pos, prec)),
+        (Kind::Inf, Kind::Inf) => Some(BigFloat::special(Kind::Nan, Sign::Pos, prec)),
+        (Kind::Inf, _) => Some(BigFloat::special(Kind::Inf, sign, prec)),
+        (_, Kind::Inf) => Some(BigFloat::special(Kind::Zero, Sign::Pos, prec)),
+        (Kind::Zero, Kind::Zero) => Some(BigFloat::special(Kind::Nan, Sign::Pos, prec)),
+        (Kind::Zero, Kind::Normal) => Some(BigFloat::special(Kind::Zero, Sign::Pos, prec)),
+        (Kind::Normal, Kind::Zero) => Some(BigFloat::special(Kind::Inf, sign, prec)),
+        (Kind::Normal, Kind::Normal) => None,
+    }
 }
 
 fn div_impl(a: &BigFloat, b: &BigFloat, prec: u32) -> BigFloat {
     let (sa, ka, ea, la, _) = a.parts();
     let (sb, kb, eb, lb, _) = b.parts();
     let sign = sa.xor(sb);
-    match (ka, kb) {
-        (Kind::Nan, _) | (_, Kind::Nan) => return BigFloat::special(Kind::Nan, Sign::Pos, prec),
-        (Kind::Inf, Kind::Inf) => return BigFloat::special(Kind::Nan, Sign::Pos, prec),
-        (Kind::Inf, _) => return BigFloat::special(Kind::Inf, sign, prec),
-        (_, Kind::Inf) => return BigFloat::special(Kind::Zero, Sign::Pos, prec),
-        (Kind::Zero, Kind::Zero) => return BigFloat::special(Kind::Nan, Sign::Pos, prec),
-        (Kind::Zero, Kind::Normal) => return BigFloat::special(Kind::Zero, Sign::Pos, prec),
-        (Kind::Normal, Kind::Zero) => return BigFloat::special(Kind::Inf, sign, prec),
-        (Kind::Normal, Kind::Normal) => {}
+    if let Some(r) = div_specials(ka, kb, sign, prec) {
+        return r;
+    }
+
+    // Word-at-a-time division: widen the dividend by k whole limbs so
+    // the integer quotient floor(A·2^(64k) / B) carries at least
+    // prec + 64 significant bits, then let the remainder drive an exact
+    // sticky bit. One correctly-rounded result, same as the restoring
+    // bit loop this replaced (kept as `testing::div_restoring`), at
+    // O(n·m) limb ops instead of O(prec·n).
+    let ql = prec as usize / 64 + 2;
+    let k = (lb.len() + ql).saturating_sub(la.len());
+    let (q, r) = if k == 0 {
+        // Dividend already k-limbs wider than needed; quotient keeps
+        // >= 64*ql - 1 bits regardless.
+        limb::div_rem_knuth(la, lb)
+    } else {
+        let mut num = vec![0u64; la.len() + k];
+        num[k..].copy_from_slice(la);
+        limb::div_rem_knuth(&num, lb)
+    };
+    let sticky = !limb::is_zero(&r);
+    let h = limb::highest_bit(&q).expect("quotient of normals is nonzero");
+    let top_a = la.len() as i128 * 64 - 1;
+    let top_b = lb.len() as i128 * 64 - 1;
+    // a/b = (Q + r/B) · 2^E with E = ea - eb + top_b - top_a - 64k, so
+    // bit i of Q has weight 2^(i+E) and the top bit carries E + h.
+    let exp_of_top = ea as i128 - eb as i128 + top_b - top_a - 64 * k as i128 + h as i128;
+    BigFloat::from_raw_wide(sign, exp_of_top, q, sticky, prec)
+}
+
+/// The pre-rewrite restoring bit-by-bit division, kept as a slow
+/// differential reference for the Knuth-D path (`prec + 3` full-slice
+/// compare/sub/shift passes).
+fn div_impl_restoring(a: &BigFloat, b: &BigFloat, prec: u32) -> BigFloat {
+    let (sa, ka, ea, la, _) = a.parts();
+    let (sb, kb, eb, lb, _) = b.parts();
+    let sign = sa.xor(sb);
+    if let Some(r) = div_specials(ka, kb, sign, prec) {
+        return r;
     }
 
     // Restoring binary long division on magnitudes aligned to a common
@@ -319,8 +484,40 @@ fn div_impl(a: &BigFloat, b: &BigFloat, prec: u32) -> BigFloat {
         unreachable!("quotient of normals is nonzero");
     };
     // Bit (qbits-1) of q carries weight 2^0 of the aligned ratio.
-    let exp_of_top = ea - eb - (qbits as i64 - 1) + h as i64;
-    BigFloat::from_raw(sign, exp_of_top, q, sticky, prec)
+    let exp_of_top = ea as i128 - eb as i128 - (qbits as i128 - 1) + h as i128;
+    BigFloat::from_raw_wide(sign, exp_of_top, q, sticky, prec)
+}
+
+/// Differential-test hooks: the general slice kernels and the retired
+/// restoring division, callable directly so test suites can prove the
+/// specialized fast paths bit-identical to them. Not a public API.
+#[doc(hidden)]
+pub mod testing {
+    use super::*;
+
+    /// Addition forced through the general slice kernels.
+    #[must_use]
+    pub fn add_general(a: &BigFloat, b: &BigFloat, prec: u32) -> BigFloat {
+        add_signed_with(a, b, false, prec, true)
+    }
+
+    /// Subtraction forced through the general slice kernels.
+    #[must_use]
+    pub fn sub_general(a: &BigFloat, b: &BigFloat, prec: u32) -> BigFloat {
+        add_signed_with(a, b, true, prec, true)
+    }
+
+    /// Multiplication forced through the general slice kernels.
+    #[must_use]
+    pub fn mul_general(a: &BigFloat, b: &BigFloat, prec: u32) -> BigFloat {
+        mul_impl_with(a, b, prec, true)
+    }
+
+    /// Division via the pre-rewrite restoring bit-by-bit algorithm.
+    #[must_use]
+    pub fn div_restoring(a: &BigFloat, b: &BigFloat, prec: u32) -> BigFloat {
+        div_impl_restoring(a, b, prec)
+    }
 }
 
 impl core::ops::Neg for &BigFloat {
@@ -356,6 +553,7 @@ bin_op!(Div, div, div);
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bit_identical;
 
     fn ctx() -> Context {
         Context::new(256)
@@ -528,6 +726,114 @@ mod tests {
         // 3 * round(1/3) is within 1 ulp of 1 at 256 bits.
         let err = c.sub(&back, &BigFloat::one()).abs();
         assert!(err.is_zero() || err.exponent().unwrap() < -250);
+    }
+
+    #[test]
+    fn div_matches_restoring_reference() {
+        // Spot check: the Knuth-D quotient path must agree bit-for-bit
+        // with the retired restoring division (the full differential
+        // proptests live in tests/kernels.rs).
+        let vals = [0.3, 1.0 / 3.0, 7.25, 1e-17, 123456.789, 2.0];
+        for prec in [24u32, 53, 128, 256, 1024] {
+            let c = Context::new(prec);
+            for &x in &vals {
+                for &y in &vals {
+                    let a = BigFloat::from_f64(x);
+                    let b = BigFloat::from_f64(y);
+                    let new = c.div(&a, &b);
+                    let old = testing::div_restoring(&a, &b, prec);
+                    assert!(
+                        bit_identical(&new, &old),
+                        "div({x}, {y}) at prec {prec} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_exponent_saturates_to_inf() {
+        // exp(1.5 * 2^MAX * 1.5) = i64::MAX + 1: must saturate, not
+        // panic (the old i64 exponent arithmetic overflowed in debug).
+        let c = ctx();
+        let big = BigFloat::from_f64(1.5).mul_pow2(i64::MAX);
+        let r = c.mul(&big, &BigFloat::from_f64(1.5));
+        assert_eq!(r.kind(), Kind::Inf);
+        assert_eq!(r.sign(), Sign::Pos);
+        let rneg = c.mul(&big.neg(), &BigFloat::from_f64(1.5));
+        assert_eq!(rneg.kind(), Kind::Inf);
+        assert_eq!(rneg.sign(), Sign::Neg);
+    }
+
+    #[test]
+    fn mul_exponent_saturates_to_zero() {
+        let c = ctx();
+        let tiny = BigFloat::from_f64(0.75).mul_pow2(i64::MIN + 1);
+        let r = c.mul(&tiny, &tiny);
+        assert!(r.is_zero());
+        assert_eq!(r.sign(), Sign::Pos);
+    }
+
+    #[test]
+    fn mul_stays_finite_at_exponent_boundary() {
+        let c = ctx();
+        let r = c.mul(&BigFloat::pow2(i64::MAX), &BigFloat::from_f64(0.5));
+        assert_eq!(r.exponent(), Some(i64::MAX - 1));
+        let r = c.mul(&BigFloat::pow2(i64::MAX), &BigFloat::one());
+        assert_eq!(r.exponent(), Some(i64::MAX));
+        let r = c.mul(&BigFloat::pow2(i64::MAX), &BigFloat::from_u64(2));
+        assert_eq!(r.kind(), Kind::Inf);
+        let r = c.mul(&BigFloat::pow2(i64::MIN), &BigFloat::one());
+        assert_eq!(r.exponent(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn mul_huge_opposite_exponents_cancel_to_finite() {
+        // Regression for the old checked_add fallback: opposite-sign
+        // exponent extremes must produce the exact finite product, never
+        // NaN. 2^MAX * 2^(MIN+1) = 2^0.
+        let c = ctx();
+        let r = c.mul(&BigFloat::pow2(i64::MAX), &BigFloat::pow2(i64::MIN + 1));
+        assert_eq!(r.exponent(), Some(0));
+        assert_eq!(r.to_f64(), 1.0);
+        let r = c.mul(&BigFloat::pow2(i64::MIN + 1), &BigFloat::pow2(i64::MAX));
+        assert!(!r.is_nan());
+        assert_eq!(r.exponent(), Some(0));
+    }
+
+    #[test]
+    fn div_exponent_saturates() {
+        let c = ctx();
+        // exp(2^MAX / 2^MIN) = MAX - MIN, far past i64: saturate to Inf.
+        let r = c.div(&BigFloat::pow2(i64::MAX), &BigFloat::pow2(i64::MIN));
+        assert_eq!(r.kind(), Kind::Inf);
+        assert_eq!(r.sign(), Sign::Pos);
+        let r = c.div(
+            &BigFloat::from_f64(-1.0).mul_pow2(i64::MAX),
+            &BigFloat::pow2(i64::MIN),
+        );
+        assert_eq!(r.kind(), Kind::Inf);
+        assert_eq!(r.sign(), Sign::Neg);
+        // And the mirror image underflows to the single unsigned zero.
+        let r = c.div(&BigFloat::pow2(i64::MIN), &BigFloat::pow2(i64::MAX));
+        assert!(r.is_zero());
+        assert_eq!(r.sign(), Sign::Pos);
+        // Exactly at the boundary stays finite.
+        let r = c.div(&BigFloat::pow2(i64::MIN + 10), &BigFloat::pow2(10));
+        assert_eq!(r.exponent(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn add_exponent_saturates_at_range_edges() {
+        let c = ctx();
+        // 2^MAX + 2^MAX = 2^(MAX+1): overflow to Inf instead of panicking.
+        let r = c.add(&BigFloat::pow2(i64::MAX), &BigFloat::pow2(i64::MAX));
+        assert_eq!(r.kind(), Kind::Inf);
+        assert_eq!(r.sign(), Sign::Pos);
+        // 1.5*2^MIN - 2^MIN = 2^(MIN-1): underflow to zero.
+        let a = BigFloat::from_f64(1.5).mul_pow2(i64::MIN);
+        let r = c.sub(&a, &BigFloat::pow2(i64::MIN));
+        assert!(r.is_zero());
     }
 
     #[test]

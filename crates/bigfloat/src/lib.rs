@@ -47,6 +47,8 @@ pub mod limb;
 mod repr;
 pub mod serial;
 
+#[doc(hidden)]
+pub use arith::testing;
 pub use arith::Context;
 pub use elementary::ln2;
 pub use repr::{BigFloat, Kind, Sign, DEFAULT_PREC, MAX_PREC, MIN_PREC};

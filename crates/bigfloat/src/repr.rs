@@ -250,6 +250,22 @@ impl BigFloat {
     pub(crate) fn from_raw(
         sign: Sign,
         exp_of_top_bit: i64,
+        limbs: Vec<u64>,
+        sticky_in: bool,
+        prec: u32,
+    ) -> BigFloat {
+        BigFloat::from_raw_wide(sign, exp_of_top_bit as i128, limbs, sticky_in, prec)
+    }
+
+    /// [`BigFloat::from_raw`] with a wide exponent: arithmetic computes
+    /// the exponent of the top bit in `i128` (sums and differences of
+    /// `i64` exponents plus bit-index adjustments cannot overflow it)
+    /// and the final value saturates to infinity/zero if it leaves the
+    /// `i64` range, mirroring [`BigFloat::mul_pow2`].
+    #[must_use]
+    pub(crate) fn from_raw_wide(
+        sign: Sign,
+        exp_of_top_bit: i128,
         mut limbs: Vec<u64>,
         sticky_in: bool,
         prec: u32,
@@ -288,7 +304,7 @@ impl BigFloat {
                 // Rounding may have rippled into a new top bit
                 // (e.g. 1.111 -> 10.000): recompute.
                 let new_top = limb::highest_bit(&limbs).expect("nonzero after round up");
-                exp += new_top as i64 - top as i64;
+                exp += new_top as i128 - top as i128;
                 return BigFloat::finish(sign, exp, limbs, prec);
             }
         }
@@ -297,8 +313,10 @@ impl BigFloat {
     }
 
     /// Final normalization: left/right aligns so the top bit sits at the
-    /// MSB of the top limb, trims to `ceil(prec/64)` limbs.
-    fn finish(sign: Sign, exp: i64, mut limbs: Vec<u64>, prec: u32) -> BigFloat {
+    /// MSB of the top limb, trims to `ceil(prec/64)` limbs. Exponents
+    /// outside the `i64` range saturate to infinity (overflow) or the
+    /// single unsigned zero (underflow).
+    fn finish(sign: Sign, exp: i128, mut limbs: Vec<u64>, prec: u32) -> BigFloat {
         let top = limb::highest_bit(&limbs).expect("finish on zero magnitude");
         let nlimbs = prec.div_ceil(limb::LIMB_BITS) as usize;
         let want_top = nlimbs as u64 * 64 - 1;
@@ -322,6 +340,13 @@ impl BigFloat {
         limbs.truncate(nlimbs);
         debug_assert_eq!(limbs.len(), nlimbs);
         debug_assert!(limbs[nlimbs - 1] >> 63 == 1);
+        let Ok(exp) = i64::try_from(exp) else {
+            return if exp > 0 {
+                BigFloat::special(Kind::Inf, sign, prec)
+            } else {
+                BigFloat::special(Kind::Zero, Sign::Pos, prec)
+            };
+        };
         BigFloat {
             sign,
             kind: Kind::Normal,

@@ -35,7 +35,9 @@
 //! registry access, so no `clap`.
 
 use compstat_bench::registry::{find, registry, registry_shard};
+use compstat_bench::timing;
 use compstat_core::archive::{export_cache, import_cache};
+use compstat_core::bench_doc::BenchDoc;
 use compstat_core::cache;
 use compstat_core::diff::{diff_dirs, TolerancePolicy};
 use compstat_core::json::Json;
@@ -79,6 +81,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("list") => cmd_list(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
@@ -102,6 +105,8 @@ USAGE:
     compstat list
     compstat run <name>... | --all [--scale quick|default|paper]
                  [--threads N] [--out DIR] [--no-cache] [--shard K/N]
+    compstat bench [--quick | --scale quick|default|paper]
+                   [--threads N] [--out DIR]
     compstat merge <shard-dir>... --out DIR
     compstat diff <baseline-dir> <new-dir> [--tolerances FILE] [--json]
     compstat validate <dir-or-file>...
@@ -112,6 +117,12 @@ COMMANDS:
     list        List every registered experiment (name and title)
     run         Run experiments; print text reports, or write one JSON
                 report per experiment plus index.json with --out
+    bench       Time the bigfloat kernels (add/mul/div at 128/256/1024
+                bits, plus the retired restoring division) and the
+                figures' 256-bit oracle passes. Emits wall-clock
+                compstat-bench/v1 documents — explicitly
+                non-deterministic, never part of a report directory,
+                never compared by `diff`
     merge       Reassemble a complete set of `run --shard` output
                 directories into the canonical directory an unsharded
                 `run --all` would write (byte-identical); exit 0 on
@@ -141,6 +152,16 @@ OPTIONS (run):
                     the registry (requires --all; big oracle sweeps are
                     cached in N parts). The index.json is shard-stamped
                     so `compstat merge` can reassemble the full set
+
+OPTIONS (bench):
+    --quick         Shorthand for --scale quick (the CI smoke budget)
+    --scale SCALE   quick | default | paper (default: $COMPSTAT_SCALE
+                    or `default`)
+    --threads N     Worker threads for the oracle suite (the kernel
+                    micro-benchmarks are always serial)
+    --out DIR       Also write bench-bigfloat.json and bench-oracle.json
+                    to DIR. Refused if DIR holds an index.json — bench
+                    documents must not contaminate a report directory
 
 OPTIONS (diff):
     --tolerances F  Load a compstat-tolerances/v1 JSON policy file
@@ -380,6 +401,124 @@ fn cmd_run(rest: &[String]) -> ExitCode {
                     dir.join("stats.json").display()
                 );
             }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+struct BenchArgs {
+    scale: Scale,
+    threads: Option<usize>,
+    out: Option<PathBuf>,
+}
+
+fn parse_bench_args(rest: &[String]) -> Result<BenchArgs, String> {
+    let mut parsed = BenchArgs {
+        scale: Scale::from_env(),
+        threads: None,
+        out: None,
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => parsed.scale = Scale::Quick,
+            "--scale" => {
+                let v = value_of("--scale")?;
+                parsed.scale = Scale::parse(&v)
+                    .ok_or_else(|| format!("unknown scale {v:?} (quick|default|paper)"))?;
+            }
+            "--threads" => {
+                let v = value_of("--threads")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads needs a number, got {v:?}"))?;
+                if n > compstat_runtime::MAX_THREADS {
+                    return Err(format!(
+                        "--threads {n} exceeds the {}-thread cap",
+                        compstat_runtime::MAX_THREADS
+                    ));
+                }
+                parsed.threads = Some(n);
+            }
+            "--out" => parsed.out = Some(PathBuf::from(value_of("--out")?)),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            other => {
+                return Err(format!(
+                    "bench takes no positional arguments, got {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+fn cmd_bench(rest: &[String]) -> ExitCode {
+    let parsed = match parse_bench_args(rest) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("compstat bench: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    // Check the output directory *before* paying for the suites — and
+    // refuse a report directory outright: the diff gate loads every
+    // .json under an indexed directory, and wall-clock documents in it
+    // would defeat the byte-stability contract.
+    if let Some(dir) = &parsed.out {
+        if dir.join("index.json").exists() {
+            eprintln!(
+                "compstat bench: {} holds an index.json (a report directory); \
+                 bench documents are non-deterministic and must live elsewhere",
+                dir.display()
+            );
+            return ExitCode::from(2);
+        }
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("compstat bench: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let rt = match parsed.threads {
+        Some(n) => Runtime::with_threads(n),
+        None => match Runtime::try_from_env() {
+            Ok(rt) => rt,
+            Err(e) => {
+                eprintln!("compstat bench: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    eprintln!(
+        "timing bigfloat kernels at scale {}...",
+        parsed.scale.as_str()
+    );
+    let bigfloat = timing::bigfloat_suite(parsed.scale);
+    eprintln!(
+        "timing oracle passes at scale {} ({} threads, cache off)...",
+        parsed.scale.as_str(),
+        rt.threads()
+    );
+    let oracle = timing::oracle_suite(parsed.scale, &rt);
+
+    for doc in [&bigfloat, &oracle] {
+        match emit(&format!("\n{}", doc.render_text())) {
+            Emit::Ok => {}
+            Emit::Closed => return ExitCode::SUCCESS,
+            Emit::Failed => return ExitCode::FAILURE,
+        }
+        if let Some(dir) = &parsed.out {
+            let path = dir.join(format!("bench-{}.json", doc.suite));
+            if let Err(e) = cache::write_atomic(&path, doc.to_json_string().as_bytes()) {
+                eprintln!("compstat bench: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
         }
     }
     ExitCode::SUCCESS
@@ -802,6 +941,11 @@ fn check_schema(path: &Path, doc: &Json) -> Result<(), String> {
             }
             Ok(())
         }
+        s if s == compstat_core::BENCH_SCHEMA => {
+            // Full structural validation, including the mandatory
+            // `"non_deterministic": true` marker.
+            BenchDoc::from_json(doc).map(|_| ())
+        }
         s if s == compstat_core::diff::TOLERANCES_SCHEMA => {
             // Check through the real loader so bad tolerance spellings
             // fail validation, not the later diff run.
@@ -859,6 +1003,61 @@ mod tests {
         assert!(parse_run_args(&strings(&["--threads", "many"])).is_err());
         assert!(parse_run_args(&strings(&["--bogus"])).is_err());
         assert!(parse_run_args(&strings(&["fig01", "--out"])).is_err());
+    }
+
+    #[test]
+    fn bench_args_parse_flags() {
+        let p = parse_bench_args(&strings(&[
+            "--quick",
+            "--threads",
+            "2",
+            "--out",
+            "bench-docs",
+        ]))
+        .unwrap();
+        assert_eq!(p.scale, Scale::Quick);
+        assert_eq!(p.threads, Some(2));
+        assert_eq!(p.out.as_deref(), Some(Path::new("bench-docs")));
+
+        let p = parse_bench_args(&strings(&["--scale", "paper"])).unwrap();
+        assert_eq!(p.scale, Scale::Full);
+        assert_eq!(p.threads, None);
+        assert_eq!(p.out, None);
+    }
+
+    #[test]
+    fn bench_args_reject_bad_usage() {
+        assert!(parse_bench_args(&strings(&["fig01"])).is_err());
+        assert!(parse_bench_args(&strings(&["--scale", "warp"])).is_err());
+        assert!(parse_bench_args(&strings(&["--threads", "many"])).is_err());
+        assert!(parse_bench_args(&strings(&["--out"])).is_err());
+        assert!(parse_bench_args(&strings(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn schema_check_accepts_valid_bench_documents_only() {
+        let doc = Json::parse(
+            r#"{"schema":"compstat-bench/v1","non_deterministic":true,
+                "suite":"bigfloat","scale":"quick","threads":1,
+                "unix_ms":1765000000000,
+                "entries":[{"id":"bigfloat/div/256","iters":100,"reps":3,
+                            "min_ns":300.0,"median_ns":310.0,"mean_ns":312.5}]}"#,
+        )
+        .unwrap();
+        assert!(check_schema(Path::new("bench-bigfloat.json"), &doc).is_ok());
+        // Without the non-determinism marker the document is invalid.
+        let stripped = match &doc {
+            Json::Obj(pairs) => Json::Obj(
+                pairs
+                    .iter()
+                    .filter(|(k, _)| k != "non_deterministic")
+                    .cloned()
+                    .collect(),
+            ),
+            _ => unreachable!(),
+        };
+        let err = check_schema(Path::new("bench-bigfloat.json"), &stripped).unwrap_err();
+        assert!(err.contains("non_deterministic"), "{err}");
     }
 
     #[test]

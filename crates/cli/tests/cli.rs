@@ -908,6 +908,84 @@ fn cache_export_import_round_trip_makes_a_fresh_machine_warm() {
 }
 
 #[test]
+fn bench_emits_validating_documents_and_stays_out_of_report_dirs() {
+    // One quick bench run: prints human tables, writes one
+    // compstat-bench/v1 document per suite (and no index.json, so the
+    // directory can never be mistaken for a report directory).
+    let dir = tmp_dir("bench-docs");
+    let out = compstat(&[
+        "bench",
+        "--quick",
+        "--threads",
+        "2",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("non-deterministic"), "{text}");
+    assert!(text.contains("bigfloat/div/256"), "{text}");
+    assert!(text.contains("bigfloat/div-restoring/256"), "{text}");
+    assert!(text.contains("oracle/fig09-fig11"), "{text}");
+    assert!(text.contains("oracle/fig10"), "{text}");
+
+    let mut files: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    files.sort();
+    assert_eq!(files, ["bench-bigfloat.json", "bench-oracle.json"]);
+
+    // Both documents parse, carry the schema + marker, and pass the
+    // validate subcommand.
+    for file in &files {
+        let doc = Json::parse(&std::fs::read_to_string(dir.join(file)).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").unwrap().as_str(),
+            Some("compstat-bench/v1"),
+            "{file}"
+        );
+        assert_eq!(doc.get("non_deterministic"), Some(&Json::Bool(true)));
+    }
+    let out = compstat(&["validate", dir.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("2 document(s) valid"));
+
+    // A --out pointing at a report directory (holds index.json) is
+    // refused before any timing runs, exit 2.
+    let reports = tmp_dir("bench-refused");
+    std::fs::create_dir_all(&reports).unwrap();
+    std::fs::write(reports.join("index.json"), "{}").unwrap();
+    let out = compstat(&["bench", "--quick", "--out", reports.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("index.json"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Usage errors exit 2.
+    for args in [
+        &["bench", "fig01"][..],
+        &["bench", "--scale", "warp"],
+        &["bench", "--out"],
+    ] {
+        let out = compstat(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+}
+
+#[test]
 fn single_report_matches_the_library_run() {
     // The binary's emitted JSON is exactly what the library produces:
     // no CLI-layer drift in the report pipeline.

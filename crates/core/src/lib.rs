@@ -20,6 +20,9 @@
 //! * [`accuracy`] — the Section IV-A bucketed accuracy experiment;
 //! * [`report`] — the structured [`Report`](report::Report) model with
 //!   text-table and JSON rendering;
+//! * [`bench_doc`] — the explicitly non-deterministic wall-clock
+//!   timing documents behind `compstat bench` (`compstat-bench/v1`,
+//!   kept out of the byte-stable report dirs and the diff gate);
 //! * [`experiment`] — the [`Experiment`] trait of the unified engine
 //!   (run any registered experiment at any [`Scale`] on any thread
 //!   count);
@@ -62,6 +65,7 @@
 
 pub mod accuracy;
 pub mod archive;
+pub mod bench_doc;
 pub mod cache;
 pub mod diff;
 pub mod error;
@@ -76,6 +80,7 @@ pub mod stats;
 
 pub use accuracy::{figure3_buckets, figure9_buckets, ExponentBucket, OpKind};
 pub use archive::{export_cache, import_cache, ArchiveError, ImportSummary, TarEntry};
+pub use bench_doc::{BenchDoc, BenchEntry, BENCH_SCHEMA};
 pub use cache::{CacheKey, CacheStats, OracleCache};
 pub use diff::{
     diff_dirs, diff_reports, diff_sets, load_report_dir, DiffReport, DiffStatus, ParsedReport,

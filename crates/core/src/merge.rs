@@ -600,12 +600,7 @@ mod tests {
 
         // Round-robin profile violation: shard 2 lists too few.
         let thin = root.join("thin");
-        write_shard_dir(
-            &thin,
-            "quick",
-            Shard::new(2, 3).unwrap(),
-            &names(7)[1..2],
-        );
+        write_shard_dir(&thin, "quick", Shard::new(2, 3).unwrap(), &names(7)[1..2]);
         let err = merge_shard_dirs(&[dirs[0].clone(), thin, dirs[2].clone()], &root.join("m5"))
             .unwrap_err();
         assert!(err.message.contains("round-robin"), "{err}");
