@@ -1,0 +1,5 @@
+//! HDR float accuracy study (op sweep, forward pass, exponent trace).
+//! Resolved through the unified experiment registry.
+fn main() {
+    compstat_bench::run_and_print("hdr");
+}

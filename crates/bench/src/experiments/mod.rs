@@ -12,6 +12,7 @@ pub mod fig07_column;
 pub mod fig09_pvalues;
 pub mod fig10_vicar;
 pub mod fig11_lofreq;
+pub mod hdr_format;
 pub mod model_tables;
 
 pub use ablations::{ablation_es_sweep, ablation_lse_variants, ablation_scaled_forward};

@@ -127,9 +127,10 @@ entry!(
     ablations::TITLE_SCALED,
     |s, _| { ablations::scaled_report(s) }
 );
+entry!(Hdr, hdr_format::NAME, hdr_format::TITLE, hdr_format::report);
 
 /// Every registered experiment, in paper order (figures and tables
-/// first, ablations last).
+/// first, ablations, then workspace-native format studies).
 #[must_use]
 pub fn registry() -> &'static [&'static dyn Experiment] {
     &[
@@ -150,6 +151,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &AblationEs,
         &AblationLse,
         &AblationScaled,
+        &Hdr,
     ]
 }
 
@@ -188,7 +190,7 @@ mod tests {
             );
             assert!(!e.title().is_empty());
         }
-        assert_eq!(registry().len(), 17);
+        assert_eq!(registry().len(), 18);
     }
 
     #[test]

@@ -141,7 +141,13 @@ impl BigFloat {
 
     /// Rounds to the nearest `i64` (ties to even).
     ///
-    /// Saturates at `i64::MIN`/`i64::MAX` and returns 0 for NaN.
+    /// Out-of-range values saturate: magnitudes at or above `2^63`
+    /// (and `±inf`) return `i64::MIN`/`i64::MAX` by sign. **NaN is
+    /// pinned to 0** — the deliberate choice here, matching zero
+    /// rather than C's unspecified behavior, so a NaN argument fed to
+    /// exponent-reduction code (e.g. `Context::exp`) produces a NaN
+    /// result downstream instead of a saturation artifact. Callers
+    /// that must distinguish NaN from zero check `is_nan()` first.
     #[must_use]
     pub fn to_i64_round(&self) -> i64 {
         let (sign, kind, exp, limbs, _) = self.parts();
@@ -298,5 +304,41 @@ mod tests {
         assert_eq!(BigFloat::from_f64(-1234.49).to_i64_round(), -1234);
         assert_eq!(BigFloat::from_f64(1e30).to_i64_round(), i64::MAX);
         assert_eq!(BigFloat::zero().to_i64_round(), 0);
+    }
+
+    #[test]
+    fn to_i64_round_pins_specials() {
+        // NaN is pinned to 0 (documented semantics — callers that need
+        // to tell NaN from zero check is_nan() first).
+        assert_eq!(BigFloat::nan().to_i64_round(), 0);
+        // Infinities saturate by sign, same as huge finite magnitudes.
+        assert_eq!(BigFloat::infinity(Sign::Pos).to_i64_round(), i64::MAX);
+        assert_eq!(BigFloat::infinity(Sign::Neg).to_i64_round(), i64::MIN);
+        // Saturation threshold: 2^63 is out of range, 2^63 - 1 ulp in.
+        assert_eq!(BigFloat::pow2(63).to_i64_round(), i64::MAX);
+        assert_eq!(BigFloat::pow2(63).neg().to_i64_round(), i64::MIN);
+        let below = &BigFloat::pow2(63) - &BigFloat::one();
+        assert_eq!(below.to_i64_round(), i64::MAX); // 2^63 - 1
+        assert_eq!(below.neg().to_i64_round(), -(i64::MAX));
+    }
+
+    #[test]
+    fn to_f64_at_the_min_subnormal_boundary() {
+        // 2^-1074 (the smallest subnormal) ± 1 ulp of the BigFloat
+        // operand: below the halfway-to-zero point rounds down to 0,
+        // at 2^-1074 exactly converts exactly, just above stays at
+        // 2^-1074 until the next representable (2 * 2^-1074) midpoint.
+        let min_sub = BigFloat::pow2(-1074);
+        assert_eq!(min_sub.to_f64(), f64::from_bits(1));
+        let just_below = &min_sub - &BigFloat::pow2(-1130);
+        assert_eq!(just_below.to_f64(), f64::from_bits(1));
+        let just_above = &min_sub + &BigFloat::pow2(-1130);
+        assert_eq!(just_above.to_f64(), f64::from_bits(1));
+        // The tie at 1.5 * 2^-1074 goes to even (= 2 * 2^-1074).
+        let tie = &min_sub + &BigFloat::pow2(-1075);
+        assert_eq!(tie.to_f64(), f64::from_bits(2));
+        // And negative mirrors, sign preserved through the boundary.
+        assert_eq!(min_sub.neg().to_f64(), -f64::from_bits(1));
+        assert_eq!(just_below.neg().to_f64(), -f64::from_bits(1));
     }
 }

@@ -120,8 +120,14 @@ impl Context {
         let e = x.exponent().expect("normal");
         let wp = prec + 64;
         let ctx = Context::new(wp);
-        // m in [1, 2).
-        let m = x.mul_pow2(-e);
+        // m in [1, 2). `-e` overflows i64 negation at `e == i64::MIN`
+        // (reachable: `2^(i64::MIN)` is a representable BigFloat), so
+        // split that one shift into two exact halves.
+        let m = if e == i64::MIN {
+            x.mul_pow2(i64::MAX).mul_pow2(1)
+        } else {
+            x.mul_pow2(-e)
+        };
         // ln m = 2 atanh(t), t = (m-1)/(m+1) in [0, 1/3).
         let one = BigFloat::one();
         let num = ctx.sub(&m, &one);
@@ -192,6 +198,20 @@ impl Context {
         let n = ctx.div(x, &l2).to_i64_round();
         // r = x - n ln2, |r| <= ln2/2 + tiny.
         let r = ctx.sub(x, &ctx.mul(&BigFloat::from_i64(n), &l2));
+        // When |x| > i64::MAX * ln2 (~6.39e18, exponent 62 — just under
+        // the guard above), `to_i64_round` saturates, the reduction
+        // leaves |r| up to ~2.8e18, and the Taylor loop below would
+        // effectively never terminate. A successful reduction always
+        // has |r| <= ln2/2 + tiny (exponent <= -1), so any larger
+        // remainder is the saturation artifact: the true result is far
+        // past 2^(i64::MAX) / below 2^(i64::MIN) either way.
+        if r.exponent().unwrap_or(i64::MIN) >= 0 {
+            return if x.sign() == Sign::Neg {
+                BigFloat::zero()
+            } else {
+                BigFloat::infinity(Sign::Pos)
+            };
+        }
         let mut term = BigFloat::one();
         let mut sum = BigFloat::one();
         let mut k: u64 = 1;
@@ -295,6 +315,63 @@ mod tests {
         let x = ctx().exp(&l);
         let e2 = x.exponent().unwrap();
         assert!((e2 - (-2_900_000)).abs() < 5, "exponent {e2}");
+    }
+
+    #[test]
+    fn exp_at_the_i64_saturation_threshold() {
+        let c = ctx();
+        // i64::MAX * ln2 ~ 6.3938e18 (exponent 62). Arguments past it
+        // make `to_i64_round` saturate; before the remainder check the
+        // Taylor loop on the ~2.8e18 leftover never finished. On both
+        // sides of the threshold exp must land on Inf / Zero.
+        for mag in [6.4e18, 7.0e18, 9.2e18] {
+            let pos = c.exp(&BigFloat::from_f64(mag));
+            assert_eq!(pos.kind(), Kind::Inf, "exp({mag})");
+            assert_eq!(pos.sign(), Sign::Pos);
+            let neg = c.exp(&BigFloat::from_f64(-mag));
+            assert!(neg.is_zero(), "exp(-{mag})");
+            assert_eq!(neg.sign(), Sign::Pos, "single unsigned zero");
+        }
+        // Just below the threshold the reduction is legitimate: n is
+        // near i64::MAX and the result's base-2 exponent is n exactly
+        // (|r| < ln2/2 keeps exp(r) in [2^-1/2, 2^1/2)).
+        let x = BigFloat::from_f64(6.3e18);
+        let y = Context::new(64).exp(&x);
+        let expected_n = (6.3e18 / core::f64::consts::LN_2).round() as i64;
+        let got = y.exponent().unwrap();
+        // expected_n carries f64 rounding error (~one 1024-ulp step at
+        // this magnitude); the exact n is what matters, not its f64
+        // estimate.
+        assert!(
+            (got - expected_n).abs() <= 4096,
+            "got {got} want ~{expected_n}"
+        );
+        // Exponent-63-and-up arguments take the early guard.
+        assert_eq!(c.exp(&BigFloat::pow2(63)).kind(), Kind::Inf);
+        assert!(c.exp(&BigFloat::pow2(63).neg()).is_zero());
+        assert_eq!(c.exp(&BigFloat::pow2(i64::MAX)).kind(), Kind::Inf);
+        // And NaN stays NaN through every path.
+        assert!(c.exp(&BigFloat::nan()).is_nan());
+        assert!(c.ln(&BigFloat::nan()).is_nan());
+    }
+
+    #[test]
+    fn ln_at_the_exponent_extremes() {
+        let c = ctx();
+        // 2^(i64::MIN) is representable; normalizing its mantissa used
+        // to negate i64::MIN (debug-build panic). ln must return about
+        // i64::MIN * ln2 ~ -6.39e18.
+        let tiny = BigFloat::pow2(i64::MIN);
+        let l = c.ln(&tiny);
+        let want = i64::MIN as f64 * core::f64::consts::LN_2;
+        let got = l.to_f64();
+        assert!(
+            ((got - want) / want).abs() < 1e-15,
+            "ln(2^i64::MIN) = {got}, want {want}"
+        );
+        let huge = BigFloat::pow2(i64::MAX);
+        let lh = c.ln(&huge).to_f64();
+        assert!(((lh + want) / want).abs() < 1e-15, "ln(2^i64::MAX) = {lh}");
     }
 
     #[test]

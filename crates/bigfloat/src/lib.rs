@@ -46,6 +46,7 @@ mod fmt;
 pub mod limb;
 mod repr;
 pub mod serial;
+pub mod tiered;
 
 #[doc(hidden)]
 pub use arith::testing;
@@ -53,3 +54,4 @@ pub use arith::Context;
 pub use elementary::ln2;
 pub use repr::{BigFloat, Kind, Sign, DEFAULT_PREC, MAX_PREC, MIN_PREC};
 pub use serial::{bit_identical, SerialError};
+pub use tiered::{HdrFloat, Tiered, TieredCtx, HDR_FAST_PREC, NATIVE_EXP_LIMIT};

@@ -222,7 +222,14 @@ impl BigFloat {
 
     /// Multiplies by `2^k` (exact; adjusts the exponent only).
     ///
-    /// Saturates to infinity / zero if the `i64` exponent would overflow.
+    /// Saturates if the `i64` exponent would overflow, mirroring the
+    /// rounding core (`from_raw_wide`): positive overflow becomes the
+    /// infinity *of the operand's sign*, while negative overflow
+    /// becomes the single **unsigned** zero — `(-x).mul_pow2(i64::MIN)`
+    /// loses the sign, because this `BigFloat` has no negative zero.
+    /// Specials (zero, infinities, NaN) pass through unchanged for any
+    /// `k`. The tiered backend's promotion/demotion seam relies on
+    /// both saturation directions being exactly these values.
     #[must_use]
     pub fn mul_pow2(&self, k: i64) -> BigFloat {
         let mut r = self.clone();
@@ -523,5 +530,24 @@ mod tests {
     fn mul_pow2_shifts_exponent() {
         let x = BigFloat::from_u64(3).mul_pow2(-10);
         assert_eq!(x.to_f64(), 3.0 / 1024.0);
+    }
+
+    #[test]
+    fn mul_pow2_saturation_signs() {
+        // Positive overflow keeps the operand's sign...
+        let up = BigFloat::one().neg().mul_pow2(i64::MAX).mul_pow2(1);
+        assert_eq!(up.kind(), Kind::Inf);
+        assert_eq!(up.sign(), Sign::Neg);
+        // ...negative overflow collapses to the single unsigned zero
+        // (documented: there is no negative zero to preserve the sign).
+        let down = BigFloat::one().neg().mul_pow2(i64::MIN).mul_pow2(-1);
+        assert!(down.is_zero());
+        assert_eq!(down.sign(), Sign::Pos);
+        // Specials pass through unchanged at any shift.
+        assert!(BigFloat::nan().mul_pow2(i64::MAX).is_nan());
+        assert!(BigFloat::zero().mul_pow2(i64::MIN).is_zero());
+        let inf = BigFloat::infinity(Sign::Neg).mul_pow2(i64::MIN);
+        assert_eq!(inf.kind(), Kind::Inf);
+        assert_eq!(inf.sign(), Sign::Neg);
     }
 }

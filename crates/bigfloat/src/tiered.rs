@@ -1,0 +1,916 @@
+//! Tiered-precision arithmetic: binary64 speed wherever 53 bits of
+//! precision suffice, [`BigFloat`] above, behind one context surface.
+//!
+//! The paper's methodology compares cheap 64-bit formats against a
+//! 256-bit oracle, and every rung of that comparison below the oracle
+//! pays full limb-arithmetic price even when the *values* would fit a
+//! hardware double. This module stops that: a [`TieredCtx`] built at
+//! `prec <= 53` computes with hardware `f64` arithmetic (an
+//! [`HdrFloat`] — "high dynamic range" float — when only *range*, not
+//! precision, exceeds binary64), and a context above 53 bits delegates
+//! to [`Context`] unchanged. Callers see one `add`/`sub`/`mul`/`div`/
+//! `sum`/`ln`/`exp` surface either way.
+//!
+//! # The tiers
+//!
+//! * [`Tiered::Native`] — a plain `f64`. Used for zero, NaN, the
+//!   infinities, and any finite value whose base-2 exponent is within
+//!   [`NATIVE_EXP_LIMIT`] of zero (comfortably inside binary64's
+//!   normal range, so no operation between two such values can brush
+//!   the subnormal double-rounding zone before the seam re-checks).
+//! * [`Tiered::Hdr`] — an [`HdrFloat`]: a normalized `f64` mantissa
+//!   with magnitude in `[1, 2)` plus an `i64` software exponent, so
+//!   `2^-2_900_000` (a VICAR likelihood) is an ordinary value costing
+//!   one hardware multiply per operation.
+//! * [`Tiered::Big`] — a [`BigFloat`], for contexts above 53 bits.
+//!
+//! # Bit-for-bit contract
+//!
+//! The fast tier is not "approximately" the 53-bit [`Context`]: for
+//! `add`/`sub`/`mul`/`div`/`sum` it produces **bit-identical** results
+//! to `Context::new(53)` on the same operands, across the entire `i64`
+//! exponent range. This works because IEEE 754 binary64 arithmetic
+//! *is* correctly-rounded 53-bit arithmetic whenever operands and
+//! results stay in the normal range — which the seam guarantees by
+//! keeping mantissas normalized in `[1, 2)` and doing exponent
+//! arithmetic in `i128`, saturating to the signed infinity (overflow)
+//! or the single unsigned zero (underflow) exactly as
+//! `BigFloat::from_raw_wide` does. `ln`/`exp` delegate to the bigfloat
+//! elementary kernels at the context precision (they are faithfully
+//! rounded, and rare next to the add/mul inner loops the paper's
+//! workloads are made of), so they too match the `Context` path
+//! bit for bit.
+//!
+//! A context built at `prec < 53` still computes at binary64's native
+//! 53 bits — a superset of the requested precision, mirroring
+//! fractalwonder's "plain f64 below the threshold" tiering. The
+//! differential test contract is stated at exactly `prec == 53`.
+
+use crate::arith::Context;
+use crate::repr::{BigFloat, Kind, Sign, MAX_PREC, MIN_PREC};
+use std::borrow::Cow;
+
+/// Largest context precision served by the fast (`f64`-mantissa) tier.
+pub const HDR_FAST_PREC: u32 = 53;
+
+/// A finite nonzero [`Tiered`] value stays [`Tiered::Native`] while its
+/// base-2 exponent magnitude is at most this; beyond it the value is
+/// promoted to [`Tiered::Hdr`]. The limit keeps every native-tier
+/// operation (whose result exponent moves by at most ~`2 * limit + 1`)
+/// far from binary64's subnormal range, where hardware rounding is
+/// *not* 53-bit rounding.
+pub const NATIVE_EXP_LIMIT: i64 = 500;
+
+/// `2^k` as an `f64`, exact. `k` must be in the normal range.
+#[inline]
+fn exp2i(k: i64) -> f64 {
+    debug_assert!((-1022..=1023).contains(&k), "exp2i({k}) out of range");
+    f64::from_bits(((1023 + k) as u64) << 52)
+}
+
+/// An "HDR float": a normalized binary64 mantissa (magnitude in
+/// `[1, 2)`, sign carried by the mantissa) with a separate `i64` binary
+/// exponent, so the dynamic range is that of [`BigFloat`] while every
+/// arithmetic operation is one or two hardware `f64` instructions.
+///
+/// Specials are canonical: zero is `(+0.0, 0)`, NaN is `(NaN, 0)`, the
+/// infinities are `(±inf, 0)` — matching `BigFloat`'s single unsigned
+/// zero and unsigned NaN once converted.
+///
+/// `add`/`mul`/`div` are correctly rounded to 53 significant bits of
+/// the *result* (round to nearest, ties to even) with the exponent
+/// computed in `i128` and saturated to `Inf`/zero exactly as the
+/// bigfloat rounding core does — see the module docs for why this is
+/// bit-identical to `Context::new(53)`.
+#[derive(Clone, Copy, Debug)]
+pub struct HdrFloat {
+    /// Mantissa: magnitude in `[1, 2)` for finite nonzero values;
+    /// `±0.0`, `±inf`, or NaN for the specials (exponent 0).
+    m: f64,
+    /// Base-2 exponent: the value is `m * 2^e`.
+    e: i64,
+}
+
+impl PartialEq for HdrFloat {
+    /// IEEE-style equality: NaN compares unequal to everything
+    /// (mirroring `f64`), specials and normals compare by value.
+    fn eq(&self, other: &Self) -> bool {
+        self.m == other.m && (self.e == other.e || self.m == 0.0 || self.m.is_infinite())
+    }
+}
+
+impl HdrFloat {
+    /// The canonical zero (unsigned, like `BigFloat`'s).
+    pub const ZERO: HdrFloat = HdrFloat { m: 0.0, e: 0 };
+    /// One.
+    pub const ONE: HdrFloat = HdrFloat { m: 1.0, e: 0 };
+    /// Not-a-number.
+    pub const NAN: HdrFloat = HdrFloat { m: f64::NAN, e: 0 };
+
+    /// Signed infinity.
+    #[must_use]
+    pub fn infinity(sign: Sign) -> HdrFloat {
+        HdrFloat {
+            m: sign.to_f64() * f64::INFINITY,
+            e: 0,
+        }
+    }
+
+    /// The mantissa (`[1, 2)` magnitude for finite nonzero values).
+    #[must_use]
+    pub fn mantissa(&self) -> f64 {
+        self.m
+    }
+
+    /// True if the value is exactly zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.m == 0.0
+    }
+
+    /// True if the value is NaN.
+    #[must_use]
+    pub fn is_nan(&self) -> bool {
+        self.m.is_nan()
+    }
+
+    /// True if the value is `±inf`.
+    #[must_use]
+    pub fn is_inf(&self) -> bool {
+        self.m.is_infinite()
+    }
+
+    /// True if finite and nonzero (the normal case).
+    #[must_use]
+    pub fn is_normal(&self) -> bool {
+        self.m.is_finite() && self.m != 0.0
+    }
+
+    /// Base-2 exponent of the value (`None` for zero/inf/NaN), the
+    /// same quantity [`BigFloat::exponent`] reports.
+    #[must_use]
+    pub fn exponent(&self) -> Option<i64> {
+        self.is_normal().then_some(self.e)
+    }
+
+    /// The sign; zero and NaN report positive, like `BigFloat`.
+    #[must_use]
+    pub fn sign(&self) -> Sign {
+        if self.is_normal() || self.is_inf() {
+            if self.m < 0.0 {
+                Sign::Neg
+            } else {
+                Sign::Pos
+            }
+        } else {
+            Sign::Pos
+        }
+    }
+
+    /// Normalizes a finite nonzero **normal-range** `f64` times `2^e`
+    /// into canonical form, saturating the exponent exactly as
+    /// `BigFloat::from_raw_wide` does: overflow becomes the signed
+    /// infinity, underflow the single unsigned zero.
+    fn norm(m: f64, e: i128) -> HdrFloat {
+        debug_assert!(m.is_finite() && m != 0.0);
+        let bits = m.to_bits();
+        let biased = (bits >> 52) & 0x7FF;
+        debug_assert!(biased != 0, "norm() requires a normal f64");
+        let k = biased as i128 - 1023;
+        let mantissa = f64::from_bits((bits & !(0x7FFu64 << 52)) | (1023u64 << 52));
+        let e2 = e + k;
+        if e2 > i64::MAX as i128 {
+            return HdrFloat::infinity(if m < 0.0 { Sign::Neg } else { Sign::Pos });
+        }
+        if e2 < i64::MIN as i128 {
+            return HdrFloat::ZERO;
+        }
+        HdrFloat {
+            m: mantissa,
+            e: e2 as i64,
+        }
+    }
+
+    /// Exact conversion from an `f64` (specials map to the canonical
+    /// specials; subnormals are rescaled exactly).
+    #[must_use]
+    pub fn from_f64(x: f64) -> HdrFloat {
+        if x == 0.0 {
+            return HdrFloat::ZERO;
+        }
+        if x.is_nan() {
+            return HdrFloat::NAN;
+        }
+        if x.is_infinite() {
+            return HdrFloat { m: x, e: 0 };
+        }
+        if x.abs() < f64::MIN_POSITIVE {
+            // Subnormal: scale into the normal range first (exact).
+            return HdrFloat::norm(x * exp2i(64), -64);
+        }
+        HdrFloat::norm(x, 0)
+    }
+
+    /// Conversion from a [`BigFloat`], rounding to 53 bits (round to
+    /// nearest, ties to even) — the value a 53-bit context would hold.
+    /// Exact when `x` already carries at most 53 bits.
+    #[must_use]
+    pub fn from_bigfloat(x: &BigFloat) -> HdrFloat {
+        match x.kind() {
+            Kind::Zero => return HdrFloat::ZERO,
+            Kind::Nan => return HdrFloat::NAN,
+            Kind::Inf => return HdrFloat::infinity(x.sign()),
+            Kind::Normal => {}
+        }
+        let r = x.round_to(53);
+        let Some(e) = r.exponent() else {
+            // 53-bit rounding of a normal stays normal.
+            unreachable!("round_to(53) of a normal is normal");
+        };
+        // Scale the mantissa to the unit binade. `-e` overflows i64
+        // negation when `e == i64::MIN`, so split that shift in two
+        // exact steps (this is the promotion/demotion inconsistency
+        // the tier seam must not observe).
+        let unit = if e == i64::MIN {
+            r.mul_pow2(i64::MAX).mul_pow2(1)
+        } else {
+            r.mul_pow2(-e)
+        };
+        debug_assert_eq!(unit.exponent(), Some(0));
+        HdrFloat {
+            m: unit.to_f64(),
+            e,
+        }
+    }
+
+    /// Exact conversion to a [`BigFloat`] (53 significant bits;
+    /// specials carry a 53-bit precision tag so round-trips through a
+    /// 53-bit [`Context`] are bit-identical).
+    #[must_use]
+    pub fn to_bigfloat(&self) -> BigFloat {
+        if self.is_normal() {
+            // `m` has exponent 0, so `mul_pow2(e)` cannot saturate.
+            BigFloat::from_f64(self.m).mul_pow2(self.e)
+        } else {
+            BigFloat::from_f64(self.m).round_to(53)
+        }
+    }
+
+    /// Conversion to the nearest `f64`, with IEEE overflow/underflow —
+    /// the "cast down to binary64" step of the paper, where
+    /// `2^-2_900_000` correctly collapses to `0.0`.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        if !self.is_normal() {
+            return self.m;
+        }
+        if (-1020..=1020).contains(&self.e) {
+            // Comfortably normal: the exact product.
+            return self.m * exp2i(self.e);
+        }
+        // Near or past the f64 boundary: go through BigFloat's
+        // carefully-rounded conversion (subnormal rounding is not
+        // 53-bit rounding, so a naive scale would double-round).
+        self.to_bigfloat().to_f64()
+    }
+}
+
+/// Negation (exact; zero and NaN are unchanged, like
+/// [`BigFloat::neg`]).
+impl core::ops::Neg for HdrFloat {
+    type Output = HdrFloat;
+
+    fn neg(self) -> HdrFloat {
+        if self.is_zero() || self.is_nan() {
+            self
+        } else {
+            HdrFloat {
+                m: -self.m,
+                e: self.e,
+            }
+        }
+    }
+}
+
+/// Addition, correctly rounded to 53 bits of the result.
+impl core::ops::Add for HdrFloat {
+    type Output = HdrFloat;
+
+    fn add(self, other: HdrFloat) -> HdrFloat {
+        // Specials first (their exponents are canonical 0 and must not
+        // enter the alignment logic). f64 addition of the special
+        // mantissas reproduces BigFloat's table: NaN propagates,
+        // inf + (-inf) is NaN, inf + finite is inf.
+        if self.m.is_nan() || other.m.is_nan() {
+            return HdrFloat::NAN;
+        }
+        match (self.m.is_infinite(), other.m.is_infinite()) {
+            (true, true) => {
+                let s = self.m + other.m;
+                return if s.is_nan() {
+                    HdrFloat::NAN
+                } else {
+                    HdrFloat { m: s, e: 0 }
+                };
+            }
+            (true, false) => return self,
+            (false, true) => return other,
+            (false, false) => {}
+        }
+        if self.is_zero() {
+            return other;
+        }
+        if other.is_zero() {
+            return self;
+        }
+        let (hi, lo) = if self.e >= other.e {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let d = hi.e as i128 - lo.e as i128;
+        if d >= 55 {
+            // |lo| < 2^(hi.e - 54): strictly below half an ulp of hi
+            // (below a quarter when hi is a power of two and lo has
+            // the opposite sign), so the correctly-rounded sum is
+            // exactly hi. This is the step that makes exponent gaps of
+            // millions of binades free.
+            return hi;
+        }
+        // d <= 54: scaling lo's mantissa by 2^-d is exact (the result
+        // is >= 2^-54, far above the subnormal range), so the hardware
+        // add is a single correct 53-bit rounding of the exact sum.
+        let s = hi.m + lo.m * exp2i(-(d as i64));
+        if s == 0.0 {
+            // Exact cancellation: the single unsigned zero.
+            return HdrFloat::ZERO;
+        }
+        HdrFloat::norm(s, hi.e as i128)
+    }
+}
+
+/// Subtraction, correctly rounded to 53 bits of the result.
+impl core::ops::Sub for HdrFloat {
+    type Output = HdrFloat;
+
+    fn sub(self, other: HdrFloat) -> HdrFloat {
+        self + (-other)
+    }
+}
+
+/// Multiplication, correctly rounded to 53 bits of the result.
+impl core::ops::Mul for HdrFloat {
+    type Output = HdrFloat;
+
+    fn mul(self, other: HdrFloat) -> HdrFloat {
+        let p = self.m * other.m;
+        if !p.is_finite() || p == 0.0 {
+            // Only special inputs reach here (mantissas are in [1, 4)
+            // otherwise): NaN propagates, inf * 0 is NaN, inf * x is
+            // the signed infinity, 0 * x the unsigned zero — the
+            // BigFloat table exactly.
+            if p.is_nan() {
+                return HdrFloat::NAN;
+            }
+            if p == 0.0 {
+                return HdrFloat::ZERO;
+            }
+            return HdrFloat { m: p, e: 0 };
+        }
+        HdrFloat::norm(p, self.e as i128 + other.e as i128)
+    }
+}
+
+/// Division, correctly rounded to 53 bits of the result.
+impl core::ops::Div for HdrFloat {
+    type Output = HdrFloat;
+
+    fn div(self, other: HdrFloat) -> HdrFloat {
+        let q = self.m / other.m;
+        if !q.is_finite() || q == 0.0 {
+            // Special inputs only (mantissa quotients are in (1/2, 2)
+            // otherwise): NaN propagates, inf/inf and 0/0 are NaN,
+            // x/0 and inf/x the signed infinity, 0/x and x/inf the
+            // unsigned zero — matching BigFloat's division table.
+            if q.is_nan() {
+                return HdrFloat::NAN;
+            }
+            if q == 0.0 {
+                return HdrFloat::ZERO;
+            }
+            return HdrFloat { m: q, e: 0 };
+        }
+        HdrFloat::norm(q, self.e as i128 - other.e as i128)
+    }
+}
+
+/// A value of the tiered backend — see the module docs for when each
+/// variant is used.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tiered {
+    /// A plain `f64`: zero, NaN, the infinities, or a finite value
+    /// whose exponent magnitude is at most [`NATIVE_EXP_LIMIT`].
+    Native(f64),
+    /// Range (not precision) exceeds binary64: f64 mantissa plus
+    /// software exponent.
+    Hdr(HdrFloat),
+    /// Full arbitrary-precision value (contexts above 53 bits).
+    Big(BigFloat),
+}
+
+impl Tiered {
+    /// The exact value as a [`BigFloat`] (53-bit tagged in the fast
+    /// tier, the wrapped value unchanged in the big tier).
+    #[must_use]
+    pub fn to_bigfloat(&self) -> BigFloat {
+        match self {
+            Tiered::Native(x) => HdrFloat::from_f64(*x).to_bigfloat(),
+            Tiered::Hdr(h) => h.to_bigfloat(),
+            Tiered::Big(b) => b.clone(),
+        }
+    }
+
+    /// The nearest `f64` (IEEE overflow/underflow at the range edges).
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        match self {
+            Tiered::Native(x) => *x,
+            Tiered::Hdr(h) => h.to_f64(),
+            Tiered::Big(b) => b.to_f64(),
+        }
+    }
+
+    /// Base-2 exponent (`None` for zero/inf/NaN) — the quantity the
+    /// figure 1/3/9 x-axes plot.
+    #[must_use]
+    pub fn exponent(&self) -> Option<i64> {
+        match self {
+            Tiered::Native(x) => HdrFloat::from_f64(*x).exponent(),
+            Tiered::Hdr(h) => h.exponent(),
+            Tiered::Big(b) => b.exponent(),
+        }
+    }
+
+    /// True if the value is exactly zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        match self {
+            Tiered::Native(x) => *x == 0.0,
+            Tiered::Hdr(h) => h.is_zero(),
+            Tiered::Big(b) => b.is_zero(),
+        }
+    }
+
+    /// True if the value is NaN.
+    #[must_use]
+    pub fn is_nan(&self) -> bool {
+        match self {
+            Tiered::Native(x) => x.is_nan(),
+            Tiered::Hdr(h) => h.is_nan(),
+            Tiered::Big(b) => b.is_nan(),
+        }
+    }
+
+    /// The storage tier, for diagnostics: `"native"`, `"hdr"`, or
+    /// `"big"`.
+    #[must_use]
+    pub fn tier(&self) -> &'static str {
+        match self {
+            Tiered::Native(_) => "native",
+            Tiered::Hdr(_) => "hdr",
+            Tiered::Big(_) => "big",
+        }
+    }
+}
+
+/// Re-tiers a fast-tier result: specials and comfortably-ranged values
+/// demote to [`Tiered::Native`], everything else stays [`Tiered::Hdr`].
+/// This is the single promotion/demotion point, so the two storage
+/// forms can never disagree about a value.
+fn canon_fast(h: HdrFloat) -> Tiered {
+    if !h.is_normal() {
+        // Canonical specials (+0.0 for zero; HdrFloat already
+        // normalized the rest).
+        return Tiered::Native(if h.is_zero() { 0.0 } else { h.mantissa() });
+    }
+    if h.e.abs() <= NATIVE_EXP_LIMIT {
+        // Exact: |e| <= 500 keeps the product normal.
+        return Tiered::Native(h.mantissa() * exp2i(h.e));
+    }
+    Tiered::Hdr(h)
+}
+
+/// The fast-tier view of any [`Tiered`] value. A [`Tiered::Big`]
+/// operand reaching a fast context is rounded to 53 bits here — the
+/// context's tier, like handing a 256-bit value to `Context::new(53)`.
+fn as_hdr(v: &Tiered) -> HdrFloat {
+    match v {
+        Tiered::Native(x) => HdrFloat::from_f64(*x),
+        Tiered::Hdr(h) => *h,
+        Tiered::Big(b) => HdrFloat::from_bigfloat(b),
+    }
+}
+
+/// The big-tier view of any [`Tiered`] value, borrowing when possible.
+fn as_big(v: &Tiered) -> Cow<'_, BigFloat> {
+    match v {
+        Tiered::Big(b) => Cow::Borrowed(b),
+        other => Cow::Owned(other.to_bigfloat()),
+    }
+}
+
+/// A precision-tagged arithmetic context over [`Tiered`] values — the
+/// same surface as [`Context`], with the tier chosen by precision:
+/// `prec <= 53` runs on hardware `f64` (bit-identical to
+/// `Context::new(53)`, see the module docs), `prec > 53` delegates to
+/// `Context::new(prec)` and is bit-identical by construction.
+///
+/// # Examples
+///
+/// ```
+/// use compstat_bigfloat::tiered::TieredCtx;
+///
+/// let ctx = TieredCtx::new(53); // fast tier
+/// let p = ctx.from_f64(0.3);
+/// let mut prob = ctx.from_f64(1.0);
+/// for _ in 0..1000 {
+///     prob = ctx.mul(&prob, &p);
+/// }
+/// // 0.3^1000 ~ 2^-1737: binary64 would have underflowed at
+/// // iteration 618; the tiered value promoted to the HDR form and
+/// // kept going at native speed.
+/// assert_eq!(prob.exponent(), Some(-1737));
+/// assert_eq!(prob.tier(), "hdr");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TieredCtx {
+    prec: u32,
+}
+
+impl TieredCtx {
+    /// Creates a context with the given precision in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prec` is outside `[2, 16384]` (the same domain as
+    /// [`Context::new`]).
+    #[must_use]
+    pub fn new(prec: u32) -> TieredCtx {
+        assert!(
+            (MIN_PREC..=MAX_PREC).contains(&prec),
+            "precision {prec} out of [2, 16384]"
+        );
+        TieredCtx { prec }
+    }
+
+    /// The requested precision in bits (the fast tier serves requests
+    /// at or below 53 with exactly 53 bits).
+    #[must_use]
+    pub fn prec(&self) -> u32 {
+        self.prec
+    }
+
+    /// True if this context runs on the hardware fast tier.
+    #[must_use]
+    pub fn is_fast(&self) -> bool {
+        self.prec <= HDR_FAST_PREC
+    }
+
+    fn big_ctx(&self) -> Context {
+        Context::new(self.prec)
+    }
+
+    /// The additive identity in this context's tier.
+    #[must_use]
+    pub fn zero(&self) -> Tiered {
+        if self.is_fast() {
+            Tiered::Native(0.0)
+        } else {
+            Tiered::Big(BigFloat::zero())
+        }
+    }
+
+    /// Imports an `f64` exactly (binary64 carries at most 53 bits, so
+    /// no tier rounds it). In the big tier the value keeps its own
+    /// 53-bit precision tag, exactly as `BigFloat::from_f64` operands
+    /// do under a [`Context`].
+    #[must_use]
+    pub fn from_f64(&self, x: f64) -> Tiered {
+        if self.is_fast() {
+            canon_fast(HdrFloat::from_f64(x))
+        } else {
+            Tiered::Big(BigFloat::from_f64(x))
+        }
+    }
+
+    /// Imports a [`BigFloat`]. The fast tier rounds to its 53 bits
+    /// (that is what entering a 53-bit context means); the big tier
+    /// preserves the operand bits exactly, as [`Context`] callers do.
+    #[must_use]
+    pub fn from_bigfloat(&self, x: &BigFloat) -> Tiered {
+        if self.is_fast() {
+            canon_fast(HdrFloat::from_bigfloat(x))
+        } else {
+            Tiered::Big(x.clone())
+        }
+    }
+
+    /// Addition, correctly rounded to the context precision.
+    #[must_use]
+    pub fn add(&self, a: &Tiered, b: &Tiered) -> Tiered {
+        if self.is_fast() {
+            canon_fast(as_hdr(a) + as_hdr(b))
+        } else {
+            Tiered::Big(self.big_ctx().add(&as_big(a), &as_big(b)))
+        }
+    }
+
+    /// Subtraction, correctly rounded to the context precision.
+    #[must_use]
+    pub fn sub(&self, a: &Tiered, b: &Tiered) -> Tiered {
+        if self.is_fast() {
+            canon_fast(as_hdr(a) - as_hdr(b))
+        } else {
+            Tiered::Big(self.big_ctx().sub(&as_big(a), &as_big(b)))
+        }
+    }
+
+    /// Multiplication, correctly rounded to the context precision.
+    #[must_use]
+    pub fn mul(&self, a: &Tiered, b: &Tiered) -> Tiered {
+        if self.is_fast() {
+            canon_fast(as_hdr(a) * as_hdr(b))
+        } else {
+            Tiered::Big(self.big_ctx().mul(&as_big(a), &as_big(b)))
+        }
+    }
+
+    /// Division, correctly rounded to the context precision.
+    #[must_use]
+    pub fn div(&self, a: &Tiered, b: &Tiered) -> Tiered {
+        if self.is_fast() {
+            canon_fast(as_hdr(a) / as_hdr(b))
+        } else {
+            Tiered::Big(self.big_ctx().div(&as_big(a), &as_big(b)))
+        }
+    }
+
+    /// Sums a sequence left-to-right, rounding after each partial sum —
+    /// the same associativity as [`Context::sum`], so the big tier is
+    /// bit-identical to it and the fast tier to its 53-bit instance.
+    #[must_use]
+    pub fn sum<'a, I: IntoIterator<Item = &'a Tiered>>(&self, values: I) -> Tiered {
+        let mut acc = self.zero();
+        for v in values {
+            acc = self.add(&acc, v);
+        }
+        acc
+    }
+
+    /// Natural logarithm, faithfully rounded ([`Context::ln`] at the
+    /// context precision in both tiers; `ln` is a conversion-time
+    /// operation, not an inner-loop one, so the fast tier trades a
+    /// bigfloat call for exact parity with the `Context` path).
+    #[must_use]
+    pub fn ln(&self, x: &Tiered) -> Tiered {
+        if self.is_fast() {
+            let r = Context::new(HDR_FAST_PREC).ln(&as_hdr(x).to_bigfloat());
+            canon_fast(HdrFloat::from_bigfloat(&r))
+        } else {
+            Tiered::Big(self.big_ctx().ln(&as_big(x)))
+        }
+    }
+
+    /// Exponential, faithfully rounded (same delegation as
+    /// [`TieredCtx::ln`]; the full HDR argument range is handled by
+    /// the bigfloat kernel's saturating argument reduction).
+    #[must_use]
+    pub fn exp(&self, x: &Tiered) -> Tiered {
+        if self.is_fast() {
+            let r = Context::new(HDR_FAST_PREC).exp(&as_hdr(x).to_bigfloat());
+            canon_fast(HdrFloat::from_bigfloat(&r))
+        } else {
+            Tiered::Big(self.big_ctx().exp(&as_big(x)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::bit_identical;
+
+    fn ctx53() -> Context {
+        Context::new(53)
+    }
+
+    fn hdr_of(m: f64, e: i64) -> HdrFloat {
+        let h = HdrFloat::from_f64(m);
+        assert!(h.is_normal());
+        HdrFloat::from_bigfloat(&h.to_bigfloat().mul_pow2(e - h.exponent().unwrap()))
+    }
+
+    #[test]
+    fn specials_are_canonical() {
+        assert!(HdrFloat::from_f64(0.0).is_zero());
+        assert!(HdrFloat::from_f64(-0.0).is_zero());
+        assert_eq!(HdrFloat::from_f64(-0.0).sign(), Sign::Pos);
+        assert!(HdrFloat::from_f64(f64::NAN).is_nan());
+        assert!(HdrFloat::from_f64(f64::INFINITY).is_inf());
+        assert_eq!(HdrFloat::from_f64(f64::NEG_INFINITY).sign(), Sign::Neg);
+    }
+
+    #[test]
+    fn from_f64_round_trips_exactly() {
+        for x in [
+            1.0,
+            -1.0,
+            0.3,
+            1.5e308,
+            -2.2e-308,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1), // min subnormal
+            f64::EPSILON,
+            123456.789,
+        ] {
+            let h = HdrFloat::from_f64(x);
+            assert_eq!(h.to_f64(), x, "round-trip {x}");
+            assert!(bit_identical(&h.to_bigfloat(), &BigFloat::from_f64(x)));
+        }
+    }
+
+    #[test]
+    fn huge_exponents_are_ordinary_values() {
+        let tiny = hdr_of(1.5, -2_900_000);
+        assert_eq!(tiny.exponent(), Some(-2_900_000));
+        assert_eq!(tiny.to_f64(), 0.0); // the paper's binary64 demotion
+        let back = HdrFloat::from_bigfloat(&tiny.to_bigfloat());
+        assert_eq!(back, tiny);
+    }
+
+    #[test]
+    fn add_matches_53bit_context_on_alignment_edges() {
+        let c = ctx53();
+        // Alignment distances around the drop-the-small-operand
+        // threshold, including the power-of-two / opposite-sign case
+        // that needs d >= 55 rather than 54.
+        for d in [0, 1, 52, 53, 54, 55, 56, 120] {
+            for (ma, mb) in [(1.0, 1.0), (1.5, 1.25), (1.0, 1.9999999999999998)] {
+                for (sa, sb) in [(1.0, 1.0), (1.0, -1.0), (-1.0, 1.0)] {
+                    let a = hdr_of(sa * ma, 0);
+                    let b = hdr_of(sb * mb, -d);
+                    let want = c.add(&a.to_bigfloat(), &b.to_bigfloat());
+                    let got = (a + b).to_bigfloat();
+                    assert!(
+                        bit_identical(&got.round_to(53), &want.round_to(53)),
+                        "d={d} ma={ma} mb={mb} sa={sa} sb={sb}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exponent_saturation_mirrors_bigfloat() {
+        let c = ctx53();
+        let top = hdr_of(1.9, i64::MAX);
+        // Doubling the largest-exponent value overflows to +inf in
+        // both arithmetics.
+        let want = c.add(&top.to_bigfloat(), &top.to_bigfloat());
+        let got = top + top;
+        assert_eq!(want.kind(), Kind::Inf);
+        assert!(got.is_inf());
+        assert_eq!(got.sign(), want.sign());
+        // Squaring the smallest-exponent value underflows to the
+        // single unsigned zero in both.
+        let bottom = hdr_of(1.0, i64::MIN / 2 - 1);
+        let wantz = c.mul(&bottom.to_bigfloat(), &bottom.to_bigfloat());
+        let gotz = bottom * bottom;
+        assert!(wantz.is_zero() && gotz.is_zero());
+        assert_eq!(gotz.sign(), Sign::Pos);
+        // Division in the other direction overflows.
+        let wanti = c.div(&top.to_bigfloat(), &bottom.to_bigfloat());
+        let goti = top / bottom;
+        assert_eq!(wanti.kind(), Kind::Inf);
+        assert!(goti.is_inf());
+    }
+
+    #[test]
+    fn special_tables_match_bigfloat() {
+        let c = ctx53();
+        let vals = [
+            HdrFloat::ZERO,
+            HdrFloat::ONE,
+            -HdrFloat::ONE,
+            HdrFloat::infinity(Sign::Pos),
+            HdrFloat::infinity(Sign::Neg),
+            HdrFloat::NAN,
+            hdr_of(1.25, -100_000),
+        ];
+        for a in vals {
+            for b in vals {
+                let (ab, bb) = (a.to_bigfloat(), b.to_bigfloat());
+                for (name, got, want) in [
+                    ("add", a + b, c.add(&ab, &bb)),
+                    ("sub", a - b, c.sub(&ab, &bb)),
+                    ("mul", a * b, c.mul(&ab, &bb)),
+                    ("div", a / b, c.div(&ab, &bb)),
+                ] {
+                    let got = got.to_bigfloat();
+                    assert!(
+                        bit_identical(&got.round_to(53), &want.round_to(53)),
+                        "{name}({a:?}, {b:?}) = {got:?}, want {want:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tier_selection_and_promotion() {
+        let ctx = TieredCtx::new(53);
+        assert!(ctx.is_fast());
+        assert_eq!(ctx.from_f64(0.3).tier(), "native");
+        assert_eq!(ctx.from_f64(0.0).tier(), "native");
+        assert_eq!(ctx.from_f64(f64::NAN).tier(), "native");
+        // Crossing NATIVE_EXP_LIMIT promotes; coming back demotes.
+        let edge = ctx.from_bigfloat(&BigFloat::pow2(NATIVE_EXP_LIMIT));
+        assert_eq!(edge.tier(), "native");
+        let past = ctx.from_bigfloat(&BigFloat::pow2(NATIVE_EXP_LIMIT + 1));
+        assert_eq!(past.tier(), "hdr");
+        let back = ctx.div(&past, &ctx.from_f64(2.0));
+        assert_eq!(back.tier(), "native");
+        assert!(bit_identical(
+            &back.to_bigfloat(),
+            &BigFloat::pow2(NATIVE_EXP_LIMIT).round_to(53)
+        ));
+        // A >53-bit context is the big tier.
+        let big = TieredCtx::new(192);
+        assert!(!big.is_fast());
+        assert_eq!(big.from_f64(0.3).tier(), "big");
+    }
+
+    #[test]
+    fn big_tier_is_context_bit_for_bit() {
+        let tctx = TieredCtx::new(192);
+        let c = Context::new(192);
+        let a = BigFloat::from_f64(0.3);
+        let b = BigFloat::from_f64(0.7);
+        let (ta, tb) = (tctx.from_bigfloat(&a), tctx.from_bigfloat(&b));
+        assert!(bit_identical(
+            &tctx.add(&ta, &tb).to_bigfloat(),
+            &c.add(&a, &b)
+        ));
+        assert!(bit_identical(
+            &tctx.mul(&ta, &tb).to_bigfloat(),
+            &c.mul(&a, &b)
+        ));
+        assert!(bit_identical(
+            &tctx.div(&ta, &tb).to_bigfloat(),
+            &c.div(&a, &b)
+        ));
+        assert!(bit_identical(&tctx.ln(&ta).to_bigfloat(), &c.ln(&a)));
+        assert!(bit_identical(&tctx.exp(&ta).to_bigfloat(), &c.exp(&a)));
+        let vs = [ta, tb];
+        assert!(bit_identical(
+            &tctx.sum(vs.iter()).to_bigfloat(),
+            &c.sum([&a, &b])
+        ));
+    }
+
+    #[test]
+    fn fast_ln_exp_match_53bit_context() {
+        let tctx = TieredCtx::new(53);
+        let c = ctx53();
+        for x in [0.3, 1.0, 42.0, 1e-200] {
+            let t = tctx.from_f64(x);
+            let b = BigFloat::from_f64(x);
+            assert!(bit_identical(
+                &tctx.ln(&t).to_bigfloat().round_to(53),
+                &c.ln(&b).round_to(53)
+            ));
+            assert!(bit_identical(
+                &tctx.exp(&t).to_bigfloat().round_to(53),
+                &c.exp(&b).round_to(53)
+            ));
+        }
+        // exp of an HDR-range log value lands at an HDR-range result.
+        let l = tctx.from_f64(-2_010_126.824);
+        let e = tctx.exp(&l);
+        assert_eq!(e.tier(), "hdr");
+        let e2 = e.exponent().unwrap();
+        assert!((e2 - (-2_900_000)).abs() < 5, "exponent {e2}");
+    }
+
+    #[test]
+    fn sum_matches_context_associativity() {
+        let tctx = TieredCtx::new(53);
+        let c = ctx53();
+        let xs: Vec<f64> = (1..40).map(|i| (i as f64) * 0.137).collect();
+        let tv: Vec<Tiered> = xs.iter().map(|&x| tctx.from_f64(x)).collect();
+        let bv: Vec<BigFloat> = xs.iter().map(|&x| BigFloat::from_f64(x)).collect();
+        let got = tctx.sum(tv.iter()).to_bigfloat();
+        let want = c.sum(bv.iter());
+        assert!(bit_identical(&got.round_to(53), &want.round_to(53)));
+    }
+}

@@ -118,9 +118,10 @@ COMMANDS:
     run         Run experiments; print text reports, or write one JSON
                 report per experiment plus index.json with --out
     bench       Time the bigfloat kernels (add/mul/div at 128/256/1024
-                bits, plus the retired restoring division) and the
-                figures' 256-bit oracle passes. Emits wall-clock
-                compstat-bench/v1 documents — explicitly
+                bits, plus the retired restoring division), the HDR
+                fast tier against the 256-bit path (per-op and forward
+                sweep), and the figures' 256-bit oracle passes. Emits
+                wall-clock compstat-bench/v1 documents — explicitly
                 non-deterministic, never part of a report directory,
                 never compared by `diff`
     merge       Reassemble a complete set of `run --shard` output
@@ -157,11 +158,13 @@ OPTIONS (bench):
     --quick         Shorthand for --scale quick (the CI smoke budget)
     --scale SCALE   quick | default | paper (default: $COMPSTAT_SCALE
                     or `default`)
-    --threads N     Worker threads for the oracle suite (the kernel
-                    micro-benchmarks are always serial)
-    --out DIR       Also write bench-bigfloat.json and bench-oracle.json
-                    to DIR. Refused if DIR holds an index.json — bench
-                    documents must not contaminate a report directory
+    --threads N     Worker threads for the hdr forward rows and the
+                    oracle suite (the kernel micro-benchmarks are
+                    always serial)
+    --out DIR       Also write bench-bigfloat.json, bench-hdr.json and
+                    bench-oracle.json to DIR. Refused if DIR holds an
+                    index.json — bench documents must not contaminate a
+                    report directory
 
 OPTIONS (diff):
     --tolerances F  Load a compstat-tolerances/v1 JSON policy file
@@ -500,13 +503,19 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
     );
     let bigfloat = timing::bigfloat_suite(parsed.scale);
     eprintln!(
+        "timing the hdr tier vs the 256-bit path at scale {} ({} threads, cache off)...",
+        parsed.scale.as_str(),
+        rt.threads()
+    );
+    let hdr = timing::hdr_suite(parsed.scale, &rt);
+    eprintln!(
         "timing oracle passes at scale {} ({} threads, cache off)...",
         parsed.scale.as_str(),
         rt.threads()
     );
     let oracle = timing::oracle_suite(parsed.scale, &rt);
 
-    for doc in [&bigfloat, &oracle] {
+    for doc in [&bigfloat, &hdr, &oracle] {
         match emit(&format!("\n{}", doc.render_text())) {
             Emit::Ok => {}
             Emit::Closed => return ExitCode::SUCCESS,

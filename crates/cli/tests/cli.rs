@@ -930,6 +930,9 @@ fn bench_emits_validating_documents_and_stays_out_of_report_dirs() {
     assert!(text.contains("non-deterministic"), "{text}");
     assert!(text.contains("bigfloat/div/256"), "{text}");
     assert!(text.contains("bigfloat/div-restoring/256"), "{text}");
+    assert!(text.contains("hdr/add/53"), "{text}");
+    assert!(text.contains("hdr/forward/53"), "{text}");
+    assert!(text.contains("oracle/forward/256"), "{text}");
     assert!(text.contains("oracle/fig09-fig11"), "{text}");
     assert!(text.contains("oracle/fig10"), "{text}");
 
@@ -938,9 +941,12 @@ fn bench_emits_validating_documents_and_stays_out_of_report_dirs() {
         .map(|e| e.unwrap().file_name().into_string().unwrap())
         .collect();
     files.sort();
-    assert_eq!(files, ["bench-bigfloat.json", "bench-oracle.json"]);
+    assert_eq!(
+        files,
+        ["bench-bigfloat.json", "bench-hdr.json", "bench-oracle.json"]
+    );
 
-    // Both documents parse, carry the schema + marker, and pass the
+    // All documents parse, carry the schema + marker, and pass the
     // validate subcommand.
     for file in &files {
         let doc = Json::parse(&std::fs::read_to_string(dir.join(file)).unwrap()).unwrap();
@@ -959,7 +965,7 @@ fn bench_emits_validating_documents_and_stays_out_of_report_dirs() {
     );
     assert!(String::from_utf8(out.stdout)
         .unwrap()
-        .contains("2 document(s) valid"));
+        .contains("3 document(s) valid"));
 
     // A --out pointing at a report directory (holds index.json) is
     // refused before any timing runs, exit 2.

@@ -7,7 +7,7 @@
 //! trait is that method as an interface: applications are written once,
 //! generically, and the formats plug in.
 
-use compstat_bigfloat::{BigFloat, Context};
+use compstat_bigfloat::{BigFloat, Context, HdrFloat};
 use compstat_logspace::LogF64;
 use compstat_posit::{Posit, P64E12, P64E18, P64E9};
 use core::fmt::Debug;
@@ -30,6 +30,9 @@ pub enum FormatKind {
         /// Exponent field width.
         es: u32,
     },
+    /// HDR float: binary64 mantissa (53 significant bits) with a
+    /// software `i64` exponent — binary64 precision, BigFloat range.
+    Hdr,
 }
 
 /// A 64-bit number system under study.
@@ -174,6 +177,55 @@ impl StatFloat for LogF64 {
     }
 }
 
+impl StatFloat for HdrFloat {
+    const NAME: &'static str = "hdr(53)";
+    const KIND: FormatKind = FormatKind::Hdr;
+
+    fn zero() -> Self {
+        HdrFloat::ZERO
+    }
+
+    fn one() -> Self {
+        HdrFloat::ONE
+    }
+
+    fn is_zero(&self) -> bool {
+        HdrFloat::is_zero(self)
+    }
+
+    fn is_invalid(&self) -> bool {
+        self.is_nan()
+    }
+
+    fn add(self, other: Self) -> Self {
+        self + other
+    }
+
+    fn mul(self, other: Self) -> Self {
+        self * other
+    }
+
+    fn div(self, other: Self) -> Self {
+        self / other
+    }
+
+    fn from_f64(x: f64) -> Self {
+        HdrFloat::from_f64(x)
+    }
+
+    fn from_bigfloat(x: &BigFloat) -> Self {
+        HdrFloat::from_bigfloat(x)
+    }
+
+    fn to_bigfloat(&self) -> BigFloat {
+        HdrFloat::to_bigfloat(self)
+    }
+
+    fn exponent(&self) -> Option<i64> {
+        HdrFloat::exponent(self)
+    }
+}
+
 macro_rules! statfloat_for_posit {
     ($n:expr, $es:expr, $name:expr) => {
         impl StatFloat for Posit<$n, $es> {
@@ -281,6 +333,7 @@ mod tests {
     fn all_formats_satisfy_contract() {
         check_roundtrip::<f64>();
         check_roundtrip::<LogF64>();
+        check_roundtrip::<HdrFloat>();
         check_roundtrip::<P64E6>();
         check_roundtrip::<P64E9>();
         check_roundtrip::<P64E12>();
@@ -298,6 +351,24 @@ mod tests {
         assert!(!p.is_zero(), "posit(64,12) holds 2^-2000");
         let l = <LogF64 as StatFloat>::from_bigfloat(&tiny);
         assert!(!l.is_zero(), "log-space holds 2^-2000");
+    }
+
+    #[test]
+    fn hdr_holds_the_full_exponent_range() {
+        // The whole point of the format: binary64 mantissa precision
+        // at BigFloat range — 2^-2_900_000 is an ordinary value.
+        let tiny = BigFloat::pow2(-2_900_000);
+        let h = <HdrFloat as StatFloat>::from_bigfloat(&tiny);
+        assert!(!h.is_zero());
+        assert_eq!(StatFloat::exponent(&h), Some(-2_900_000));
+        // ...and conversion is 53-bit rounding, so in-range values
+        // round-trip through binary64 exactly.
+        assert_eq!(
+            <HdrFloat as StatFloat>::from_f64(0.3)
+                .to_bigfloat()
+                .to_f64(),
+            0.3
+        );
     }
 
     #[test]

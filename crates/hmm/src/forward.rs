@@ -16,7 +16,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::model::{Hmm, PreparedHmm};
-use compstat_bigfloat::{BigFloat, Context};
+use compstat_bigfloat::{BigFloat, Context, Tiered, TieredCtx};
 use compstat_core::StatFloat;
 use compstat_logspace::{log_sum_exp, LogF64};
 
@@ -223,6 +223,14 @@ pub fn forward_trace(model: &Hmm, obs: &[usize], ctx: &Context, stride: usize) -
 /// (a small-context oracle sum per recorded point) is an independent
 /// map over snapshots and runs through `rt`. Point order and values are
 /// bitwise-identical for every thread count.
+///
+/// Internally the recurrence runs on the tiered backend at the
+/// context's precision: a ladder rung at `prec <= 53` computes on
+/// hardware `f64` ([`Tiered`]'s fast tier, bit-identical to the 53-bit
+/// [`Context`]), while higher precisions — including the oracle-grade
+/// 192-bit trace of Figure 1 — delegate to [`Context`] unchanged, so
+/// recorded exponents are byte-for-byte what the pure-BigFloat path
+/// produced.
 #[must_use]
 pub fn forward_trace_rt(
     model: &Hmm,
@@ -237,27 +245,28 @@ pub fn forward_trace_rt(
     let Some((&o0, rest)) = obs.split_first() else {
         return Vec::new();
     };
-    let a: Vec<BigFloat> = (0..h * h)
-        .map(|i| BigFloat::from_f64(model.a(i / h, i % h)))
+    let tctx = TieredCtx::new(ctx.prec());
+    let a: Vec<Tiered> = (0..h * h)
+        .map(|i| tctx.from_f64(model.a(i / h, i % h)))
         .collect();
-    let b: Vec<BigFloat> = (0..h * m)
-        .map(|i| BigFloat::from_f64(model.b(i / m, i % m)))
+    let b: Vec<Tiered> = (0..h * m)
+        .map(|i| tctx.from_f64(model.b(i / m, i % m)))
         .collect();
-    let mut alpha_prev: Vec<BigFloat> = (0..h)
-        .map(|q| ctx.mul(&BigFloat::from_f64(model.pi(q)), &b[q * m + o0]))
+    let mut alpha_prev: Vec<Tiered> = (0..h)
+        .map(|q| tctx.mul(&tctx.from_f64(model.pi(q)), &b[q * m + o0]))
         .collect();
-    let mut alpha: Vec<BigFloat> = vec![BigFloat::zero(); h];
+    let mut alpha: Vec<Tiered> = vec![tctx.zero(); h];
     // The sequential recurrence snapshots alpha at recorded iterations;
     // the exponent extraction (one small-context oracle sum per
     // snapshot) is an independent map and flushes through `rt` in
     // bounded batches, so memory stays O(batch * H) even at stride 1
     // while snapshot order keeps the output identical to a serial run.
     const FLUSH_BATCH: usize = 256;
-    let mut snapshots: Vec<(usize, Vec<BigFloat>)> = Vec::new();
+    let mut snapshots: Vec<(usize, Vec<Tiered>)> = Vec::new();
     let mut out: Vec<TracePoint> = Vec::new();
-    let flush = |snapshots: &mut Vec<(usize, Vec<BigFloat>)>, out: &mut Vec<TracePoint>| {
+    let flush = |snapshots: &mut Vec<(usize, Vec<Tiered>)>, out: &mut Vec<TracePoint>| {
         let points = rt.par_map(snapshots, |(t, v)| {
-            let ctx_small = Context::new(64);
+            let ctx_small = TieredCtx::new(64);
             let s = ctx_small.sum(v.iter());
             s.exponent().map(|exponent| TracePoint { t: *t, exponent })
         });
@@ -267,11 +276,11 @@ pub fn forward_trace_rt(
     snapshots.push((0, alpha_prev.clone()));
     for (idx, &ot) in rest.iter().enumerate() {
         for q in 0..h {
-            let mut path_sum = BigFloat::zero();
+            let mut path_sum = tctx.zero();
             for p in 0..h {
-                path_sum = ctx.add(&path_sum, &ctx.mul(&alpha_prev[p], &a[p * h + q]));
+                path_sum = tctx.add(&path_sum, &tctx.mul(&alpha_prev[p], &a[p * h + q]));
             }
-            alpha[q] = ctx.mul(&path_sum, &b[q * m + ot]);
+            alpha[q] = tctx.mul(&path_sum, &b[q * m + ot]);
         }
         core::mem::swap(&mut alpha, &mut alpha_prev);
         if (idx + 1) % stride == 0 {
@@ -406,6 +415,54 @@ mod tests {
         assert!(
             per_step > 0.3 && per_step < 3.0,
             "decay {per_step} bits/step"
+        );
+    }
+
+    #[test]
+    fn trace_fast_tier_tracks_the_oracle_trace() {
+        // A prec <= 53 ladder rung runs the recurrence on the tiered
+        // fast tier (hardware f64 + software exponent). Its exponents
+        // must track the 128-bit trace to within accumulated-rounding
+        // slack even thousands of binades below f64's range.
+        let m = toy();
+        let obs: Vec<usize> = (0..4_000).map(|i| (i * 13 + 1) % 2).collect();
+        let fast = forward_trace(&m, &obs, &Context::new(53), 200);
+        let big = forward_trace(&m, &obs, &Context::new(128), 200);
+        assert_eq!(fast.len(), big.len());
+        for (f, b) in fast.iter().zip(&big) {
+            assert_eq!(f.t, b.t);
+            assert!(
+                (f.exponent - b.exponent).abs() <= 1,
+                "t={} fast {} vs oracle {}",
+                f.t,
+                f.exponent,
+                b.exponent
+            );
+        }
+        // The tail is far outside binary64's reach, proving the fast
+        // tier was carrying an HDR exponent, not an f64.
+        assert!(big.last().unwrap().exponent < -2_000);
+    }
+
+    #[test]
+    fn hdr_forward_matches_oracle_where_binary64_underflows() {
+        // forward::<HdrFloat> on the sequence that zeroes binary64:
+        // same 53-bit mantissa arithmetic, but the likelihood survives
+        // with the oracle's exponent.
+        let m = toy();
+        let obs: Vec<usize> = (0..30_000).map(|i| (i * 13 + 1) % 2).collect();
+        let f: f64 = forward(&m.prepare::<f64>(), &obs);
+        assert_eq!(f, 0.0);
+        let h: compstat_bigfloat::HdrFloat = forward(&m.prepare(), &obs);
+        assert!(!h.is_zero());
+        let ctx = Context::new(256);
+        let oracle = forward_oracle(&m, &obs, &ctx);
+        let rel = compstat_core::error::relative_error(&oracle, &h.to_bigfloat(), &ctx);
+        assert!(
+            rel.within(-10.0),
+            "hdr log10 rel err {} class {:?}",
+            rel.log10_rel,
+            rel.class
         );
     }
 

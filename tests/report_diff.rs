@@ -14,10 +14,10 @@
 
 use compstat_bench::reports::{load_registry_dir, run_registry_parsed};
 use compstat_core::diff::{
-    diff_reports, diff_sets, load_report_dir, DiffClass, DiffStatus, TolerancePolicy,
+    diff_reports, diff_sets, load_report_dir, DiffClass, DiffStatus, ParsedReport, TolerancePolicy,
 };
 use compstat_core::Scale;
-use compstat_runtime::Runtime;
+use compstat_runtime::{CacheMode, Runtime};
 use std::path::Path;
 
 fn goldens() -> &'static Path {
@@ -37,6 +37,61 @@ fn fresh_quick_run_matches_the_golden_corpus() {
         diff.render_text()
     );
     assert_eq!(diff.compared.len(), compstat_bench::registry().len());
+}
+
+/// The 17 experiments that predate the tiered/HDR backend. Listed by
+/// name, not derived from the registry, so a registry reshuffle cannot
+/// silently shrink this guard's coverage.
+const PRE_HDR_EXPERIMENTS: [&str; 17] = [
+    "fig01",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "tab01",
+    "tab02",
+    "tab03",
+    "tab04",
+    "ablation-es",
+    "ablation-lse",
+    "ablation-scaled",
+];
+
+#[test]
+fn pre_hdr_experiments_are_byte_identical_on_a_cold_cache() {
+    // The tiered routing through fig01/fig03/the trace path must not
+    // move a single pre-existing report byte — and not merely because a
+    // warm cache replayed old oracle sweeps. Force the cache off so
+    // every 256-bit sweep is recomputed through the current kernels,
+    // then hold the 17 pre-HDR experiments to exact equality with the
+    // committed goldens.
+    let rt = Runtime::from_env().with_cache_mode(CacheMode::Off);
+    let golden: Vec<ParsedReport> = load_registry_dir(goldens())
+        .expect("golden corpus loads")
+        .into_iter()
+        .filter(|r| PRE_HDR_EXPERIMENTS.contains(&r.name.as_str()))
+        .collect();
+    assert_eq!(golden.len(), PRE_HDR_EXPERIMENTS.len());
+    let fresh: Vec<ParsedReport> = PRE_HDR_EXPERIMENTS
+        .iter()
+        .map(|n| {
+            let e = compstat_bench::find(n).expect("pre-HDR experiment is registered");
+            ParsedReport::of(&e.run(&rt, Scale::Quick))
+        })
+        .collect();
+    let diff = diff_sets(&golden, &fresh, &TolerancePolicy::exact());
+    assert_eq!(
+        diff.status(),
+        DiffStatus::Clean,
+        "cold-cache pre-HDR reports differ from goldens/quick:\n{}",
+        diff.render_text()
+    );
+    assert_eq!(diff.compared.len(), PRE_HDR_EXPERIMENTS.len());
 }
 
 #[test]
