@@ -86,9 +86,14 @@ fn main() -> ExitCode {
         Some("diff") => cmd_diff(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help" | "--help" | "-h") | None => {
-            print!("{USAGE}");
-            ExitCode::SUCCESS
+            // Through emit(), not print!: `compstat help | head -1`
+            // must exit 0, not panic on the broken pipe.
+            match emit(USAGE) {
+                Emit::Failed => ExitCode::FAILURE,
+                _ => ExitCode::SUCCESS,
+            }
         }
         Some(other) => {
             eprintln!("compstat: unknown command {other:?}\n");
@@ -111,6 +116,11 @@ USAGE:
     compstat diff <baseline-dir> <new-dir> [--tolerances FILE] [--json]
     compstat validate <dir-or-file>...
     compstat cache stats | clear | export <tar> | import <tar>
+    compstat serve [--addr H:P] [--workers N] [--threads N]
+                   [--max-conns N] [--timeout-secs S] [--no-cache]
+    compstat serve --bench [--connections N] [--requests M]
+                   [--addr H:P] [--out DIR]
+    compstat serve --send FILE --addr H:P | --offline FILE
     compstat help
 
 COMMANDS:
@@ -138,6 +148,17 @@ COMMANDS:
                 persistent oracle cache ($COMPSTAT_CACHE_DIR, default
                 .compstat-cache/) between machines as a deterministic
                 ustar archive (`export <tar>` / `import <tar>`)
+    serve       Run the batched scoring service: newline-delimited
+                compstat-serve/v1 JSON frames over TCP (pbd
+                call_columns + hmm forward_batch, ping/stats control
+                verbs), scored on the deterministic runtime with the
+                oracle cache as shared warm state. Served replies are
+                byte-identical to the direct computation at any worker
+                count. `--bench` drives a built-in load generator and
+                reports a compstat-serve-bench/v1 latency document;
+                `--send FILE` plays scripted frames against a live
+                server; `--offline FILE` answers the same frames
+                without a network (the differential baseline)
 
 OPTIONS (run):
     --all           Run every registered experiment, in registry order
@@ -171,6 +192,28 @@ OPTIONS (diff):
                     (default: every value must be byte-identical)
     --json          Emit the structured compstat-diff/v1 document
                     instead of the human-readable summary
+
+OPTIONS (serve):
+    --addr H:P      Bind address (default 127.0.0.1:0 — a free port,
+                    printed as `listening on H:P`). With --bench or
+                    --send: the server to drive instead
+    --workers N     Connection-handling worker threads (default 4)
+    --threads N     Deterministic runtime threads per request
+                    (default 1; replies are byte-identical for any N)
+    --max-conns N   Connections queued/in-flight before new ones get
+                    a busy frame (default 64)
+    --timeout-secs S  Per-connection read timeout (default 10)
+    --no-cache      Score without the persistent oracle cache
+    --bench         Load-generate against --addr (or an in-process
+                    server) and print a compstat-serve-bench/v1
+                    latency/throughput document
+    --connections N / --requests M  Bench shape (default 4 x 25)
+    --out DIR       With --bench: also write bench-serve.json to DIR
+                    (refused if DIR holds an index.json)
+    --send FILE     Send FILE's newline-delimited frames to --addr,
+                    print one reply line each
+    --offline FILE  Answer FILE's frames directly, no network — the
+                    baseline `--send` output is diffed against in CI
 ";
 
 fn cmd_list(rest: &[String]) -> ExitCode {
@@ -731,6 +774,270 @@ fn cmd_cache_import(file: &Path) -> ExitCode {
     }
 }
 
+// ---------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------
+
+struct ServeArgs {
+    addr: Option<String>,
+    workers: usize,
+    threads: usize,
+    max_conns: usize,
+    timeout_secs: u64,
+    no_cache: bool,
+    bench: bool,
+    connections: usize,
+    requests: usize,
+    out: Option<PathBuf>,
+    send: Option<PathBuf>,
+    offline: Option<PathBuf>,
+}
+
+fn parse_serve_args(rest: &[String]) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs {
+        addr: None,
+        workers: 4,
+        threads: 1,
+        max_conns: 64,
+        timeout_secs: 10,
+        no_cache: false,
+        bench: false,
+        connections: 4,
+        requests: 25,
+        out: None,
+        send: None,
+        offline: None,
+    };
+    let mut it = rest.iter();
+    let value = |flag: &str, v: Option<&String>| -> Result<String, String> {
+        v.cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let number = |flag: &str, v: Option<&String>| -> Result<usize, String> {
+        value(flag, v)?
+            .parse::<usize>()
+            .map_err(|_| format!("{flag} needs a number"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => args.addr = Some(value("--addr", it.next())?),
+            "--workers" => args.workers = number("--workers", it.next())?.max(1),
+            "--threads" => args.threads = number("--threads", it.next())?.max(1),
+            "--max-conns" => args.max_conns = number("--max-conns", it.next())?.max(1),
+            "--timeout-secs" => {
+                args.timeout_secs = number("--timeout-secs", it.next())?.max(1) as u64;
+            }
+            "--no-cache" => args.no_cache = true,
+            "--bench" => args.bench = true,
+            "--connections" => args.connections = number("--connections", it.next())?.max(1),
+            "--requests" => args.requests = number("--requests", it.next())?.max(1),
+            "--out" => args.out = Some(PathBuf::from(value("--out", it.next())?)),
+            "--send" => args.send = Some(PathBuf::from(value("--send", it.next())?)),
+            "--offline" => args.offline = Some(PathBuf::from(value("--offline", it.next())?)),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let modes = usize::from(args.bench)
+        + usize::from(args.send.is_some())
+        + usize::from(args.offline.is_some());
+    if modes > 1 {
+        return Err("--bench, --send and --offline are mutually exclusive".into());
+    }
+    if args.send.is_some() && args.addr.is_none() {
+        return Err("--send needs --addr pointing at a live server".into());
+    }
+    if args.out.is_some() && !args.bench {
+        return Err("--out only applies to --bench".into());
+    }
+    Ok(args)
+}
+
+fn serve_config(args: &ServeArgs) -> compstat_serve::ServerConfig {
+    compstat_serve::ServerConfig {
+        addr: args.addr.clone().unwrap_or_else(|| "127.0.0.1:0".into()),
+        workers: args.workers,
+        max_conns: args.max_conns,
+        read_timeout: std::time::Duration::from_secs(args.timeout_secs),
+        limits: compstat_serve::RequestLimits::default(),
+        cache_mode: if args.no_cache {
+            CacheMode::Off
+        } else {
+            CacheMode::from_env_or(CacheMode::ReadWrite)
+        },
+        cache_dir: None,
+        threads: args.threads,
+    }
+}
+
+fn cmd_serve(rest: &[String]) -> ExitCode {
+    let args = match parse_serve_args(rest) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("compstat serve: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(file) = &args.offline {
+        return serve_offline(file, &args);
+    }
+    if let Some(file) = &args.send {
+        return serve_send(file, args.addr.as_deref().expect("validated"));
+    }
+    if args.bench {
+        return serve_bench(&args);
+    }
+    // Foreground server: print the resolved address (port 0 binds a
+    // free port), then serve until killed.
+    let server = match compstat_serve::Server::spawn(serve_config(&args)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("compstat serve: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if emit(&format!("listening on {}\n", server.local_addr())) == Emit::Failed {
+        return ExitCode::FAILURE;
+    }
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// Reads the newline-delimited request frames of a script file,
+/// skipping blank lines.
+fn read_frames(file: &Path) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+    Ok(text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(str::to_string)
+        .collect())
+}
+
+fn serve_offline(file: &Path, args: &ServeArgs) -> ExitCode {
+    let frames = match read_frames(file) {
+        Ok(f) => f,
+        Err(msg) => {
+            eprintln!("compstat serve: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = serve_config(args);
+    let responder = compstat_serve::Responder::new(cfg.limits, args.threads, cfg.cache_mode, None);
+    for frame in &frames {
+        match emit(&format!("{}\n", responder.respond_line(frame))) {
+            Emit::Ok => {}
+            Emit::Closed => return ExitCode::SUCCESS,
+            Emit::Failed => return ExitCode::FAILURE,
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn serve_send(file: &Path, addr: &str) -> ExitCode {
+    use std::io::{BufRead as _, BufReader};
+    let frames = match read_frames(file) {
+        Ok(f) => f,
+        Err(msg) => {
+            eprintln!("compstat serve: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut conn = match std::net::TcpStream::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("compstat serve: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let read_half = match conn.try_clone() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("compstat serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut reader = BufReader::new(read_half);
+    for frame in &frames {
+        if let Err(e) = conn
+            .write_all(frame.as_bytes())
+            .and_then(|()| conn.write_all(b"\n"))
+        {
+            eprintln!("compstat serve: send failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        let mut reply = String::new();
+        match reader.read_line(&mut reply) {
+            Ok(n) if n > 0 => {}
+            _ => {
+                eprintln!("compstat serve: server closed the connection mid-script");
+                return ExitCode::FAILURE;
+            }
+        }
+        match emit(&reply) {
+            Emit::Ok => {}
+            Emit::Closed => return ExitCode::SUCCESS,
+            Emit::Failed => return ExitCode::FAILURE,
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn serve_bench(args: &ServeArgs) -> ExitCode {
+    // Bench an external server when --addr is given; otherwise spin up
+    // an in-process one on a free port.
+    let (_local, addr) = if let Some(addr) = &args.addr {
+        (None, addr.clone())
+    } else {
+        match compstat_serve::Server::spawn(serve_config(args)) {
+            Ok(s) => {
+                let addr = s.local_addr().to_string();
+                (Some(s), addr)
+            }
+            Err(e) => {
+                eprintln!("compstat serve: cannot bind: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let opts = compstat_serve::BenchOptions {
+        connections: args.connections,
+        requests_per_conn: args.requests,
+    };
+    eprintln!(
+        "driving {} connection(s) x {} request(s) against {addr}...",
+        opts.connections, opts.requests_per_conn
+    );
+    let doc = compstat_serve::run_bench(&addr, &opts);
+    if let Some(dir) = &args.out {
+        // Same guard as `compstat bench`: never mix non-deterministic
+        // timing documents into a byte-stable report directory.
+        if dir.join("index.json").is_file() {
+            eprintln!(
+                "compstat serve: {} holds an index.json report directory; refusing to write bench documents there",
+                dir.display()
+            );
+            return ExitCode::from(2);
+        }
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("compstat serve: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let path = dir.join("bench-serve.json");
+        let mut text = doc.to_json().to_json_string();
+        text.push('\n');
+        if let Err(e) = cache::write_atomic(&path, text.as_bytes()) {
+            eprintln!("compstat serve: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    match emit(&doc.render_text()) {
+        Emit::Failed => ExitCode::FAILURE,
+        _ => ExitCode::SUCCESS,
+    }
+}
+
 /// Collects the cache directory's entry files (`*.bfc`), non-recursive
 /// — the store is flat by construction.
 fn cache_entries(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
@@ -954,6 +1261,9 @@ fn check_schema(path: &Path, doc: &Json) -> Result<(), String> {
             // Full structural validation, including the mandatory
             // `"non_deterministic": true` marker.
             BenchDoc::from_json(doc).map(|_| ())
+        }
+        s if s == compstat_serve::SERVE_BENCH_SCHEMA => {
+            compstat_serve::ServeBenchDoc::from_json(doc).map(|_| ())
         }
         s if s == compstat_core::diff::TOLERANCES_SCHEMA => {
             // Check through the real loader so bad tolerance spellings

@@ -17,6 +17,16 @@ fn compstat(args: &[&str]) -> Output {
 }
 
 fn compstat_env(args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut cmd = compstat_command(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("compstat binary runs")
+}
+
+/// A scrubbed `Command` for tests that need to spawn rather than run
+/// to completion (servers, broken-pipe scenarios).
+fn compstat_command(args: &[&str]) -> Command {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_compstat"));
     // Scrub every COMPSTAT_* knob the developer may have exported —
     // an ambient COMPSTAT_CACHE=off or COMPSTAT_THREADS=garbage must
@@ -28,10 +38,7 @@ fn compstat_env(args: &[&str], env: &[(&str, &str)]) -> Output {
         "COMPSTAT_CACHE_DIR",
         Path::new(env!("CARGO_TARGET_TMPDIR")).join("shared-oracle-cache"),
     );
-    for (k, v) in env {
-        cmd.env(k, v);
-    }
-    cmd.output().expect("compstat binary runs")
+    cmd
 }
 
 fn tmp_dir(name: &str) -> PathBuf {
@@ -1016,4 +1023,160 @@ fn single_report_matches_the_library_run() {
         )
         .to_json_string();
     assert_eq!(from_cli, from_lib);
+}
+
+#[test]
+fn broken_pipe_exits_zero_instead_of_panicking() {
+    use std::process::Stdio;
+    // `compstat run ... | head -0`: the reader closes the pipe before
+    // the report is printed. The binary must treat EPIPE as a normal
+    // end of output — exit 0, no panic backtrace, no SIGPIPE death.
+    for args in [&["run", "tab01", "--scale", "quick"][..], &["help"][..]] {
+        let mut child = compstat_command(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn");
+        // Dropping the handle closes the read end of the pipe, so the
+        // child's first write after this point fails with EPIPE.
+        drop(child.stdout.take());
+        let status = child.wait().expect("wait");
+        let mut stderr = String::new();
+        use std::io::Read as _;
+        child
+            .stderr
+            .take()
+            .unwrap()
+            .read_to_string(&mut stderr)
+            .unwrap();
+        assert_eq!(
+            status.code(),
+            Some(0),
+            "args {args:?}: expected clean exit on broken pipe, got {status:?}\nstderr: {stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "args {args:?}: broken pipe must not panic:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn serve_bench_writes_a_validating_document() {
+    let dir = tmp_dir("serve-bench-out");
+    let out = compstat(&[
+        "serve",
+        "--bench",
+        "--connections",
+        "2",
+        "--requests",
+        "5",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "bench failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The text rendering goes to stdout and mentions the totals.
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("10"), "10 total requests in:\n{text}");
+
+    // The emitted document round-trips through the same validator the
+    // `validate` subcommand applies to every schema it knows.
+    let doc_text = std::fs::read_to_string(dir.join("bench-serve.json")).unwrap();
+    let doc = Json::parse(&doc_text).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("compstat-serve-bench/v1")
+    );
+    assert!(matches!(
+        doc.get("non_deterministic"),
+        Some(Json::Bool(true))
+    ));
+    let validate = compstat(&["validate", dir.to_str().unwrap()]);
+    assert!(
+        validate.status.success(),
+        "validate rejected bench-serve.json: {}",
+        String::from_utf8_lossy(&validate.stdout)
+    );
+}
+
+#[test]
+fn serve_refuses_to_write_bench_docs_into_a_report_directory() {
+    let dir = tmp_dir("serve-bench-guard");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("index.json"), "{}").unwrap();
+    let out = compstat(&[
+        "serve",
+        "--bench",
+        "--connections",
+        "1",
+        "--requests",
+        "1",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("refusing"));
+}
+
+#[test]
+fn serve_send_replies_match_the_offline_baseline() {
+    use std::io::{BufRead as _, BufReader};
+    use std::process::Stdio;
+
+    // A small script covering the control verb and both scoring verbs.
+    let script = concat!(
+        r#"{"schema":"compstat-serve/v1","id":"c0","verb":"ping"}"#,
+        "\n",
+        r#"{"schema":"compstat-serve/v1","id":"c1","verb":"pbd/call_columns","format":"Log","prec":128,"columns":[{"probs":[0.25,0.125,0.0625,0.5],"k":2}]}"#,
+        "\n",
+        r#"{"schema":"compstat-serve/v1","id":"c2","verb":"hmm/forward_batch","format":"binary64","prec":128,"model":{"states":2,"symbols":2,"a":[0.7,0.3,0.4,0.6],"b":[0.9,0.1,0.2,0.8],"pi":[0.5,0.5]},"sequences":[[0,1,1,0]]}"#,
+        "\n",
+    );
+    let dir = tmp_dir("serve-send");
+    std::fs::create_dir_all(&dir).unwrap();
+    let script_path = dir.join("script.ndjson");
+    std::fs::write(&script_path, script).unwrap();
+
+    // Foreground server on a free port; the resolved address is the
+    // first stdout line.
+    let mut server = compstat_command(&["serve", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn server");
+    let mut addr_line = String::new();
+    BufReader::new(server.stdout.take().unwrap())
+        .read_line(&mut addr_line)
+        .expect("read address line");
+    let addr = addr_line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {addr_line:?}"))
+        .to_string();
+
+    let sent = compstat(&[
+        "serve",
+        "--send",
+        script_path.to_str().unwrap(),
+        "--addr",
+        &addr,
+    ]);
+    server.kill().ok();
+    server.wait().ok();
+    assert!(
+        sent.status.success(),
+        "send failed: {}",
+        String::from_utf8_lossy(&sent.stderr)
+    );
+
+    let offline = compstat(&["serve", "--offline", script_path.to_str().unwrap()]);
+    assert!(offline.status.success());
+    assert_eq!(
+        String::from_utf8(sent.stdout).unwrap(),
+        String::from_utf8(offline.stdout).unwrap(),
+        "served replies must be byte-identical to the offline baseline"
+    );
 }

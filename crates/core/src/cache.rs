@@ -663,10 +663,87 @@ pub fn load_stats_file(dir: &Path) -> Option<(CacheStats, CacheStats)> {
     ))
 }
 
+/// How long a `stats.lock` file may sit unchanged before a new writer
+/// treats its holder as dead and steals the lock.
+const STATS_LOCK_STALE_MS: u64 = 10_000;
+
+/// An exclusive advisory lock over a cache directory's `stats.json`,
+/// held as a `stats.lock` file created with `O_EXCL`. The file body is
+/// `"<pid> <unix-millis>"`; a lock whose timestamp is older than
+/// [`STATS_LOCK_STALE_MS`] is presumed abandoned (crashed writer) and
+/// is broken. Released on drop.
+#[derive(Debug)]
+pub struct StatsLock {
+    path: PathBuf,
+}
+
+impl StatsLock {
+    /// Acquires the lock, retrying for up to ~5 s before giving up.
+    pub fn acquire(dir: &Path) -> std::io::Result<StatsLock> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("stats.lock");
+        let now_ms = || {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0)
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    use std::io::Write as _;
+                    let _ = write!(f, "{} {}", std::process::id(), now_ms());
+                    return Ok(StatsLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    // Stale-holder check: a body timestamp (or, for an
+                    // empty body still being written, a file mtime) past
+                    // the threshold means the writer died between create
+                    // and remove. Break the lock and retry.
+                    let stale = match std::fs::read_to_string(&path) {
+                        Ok(body) if body.is_empty() => std::fs::metadata(&path)
+                            .and_then(|m| m.modified())
+                            .ok()
+                            .and_then(|m| m.elapsed().ok())
+                            .is_some_and(|age| age.as_millis() as u64 > STATS_LOCK_STALE_MS),
+                        Ok(body) => body
+                            .split_whitespace()
+                            .nth(1)
+                            .and_then(|t| t.parse::<u64>().ok())
+                            .is_none_or(|t| now_ms().saturating_sub(t) > STATS_LOCK_STALE_MS),
+                        // Holder released it between our create attempt
+                        // and the read — just try again.
+                        Err(_) => false,
+                    };
+                    if stale || std::time::Instant::now() >= deadline {
+                        let _ = std::fs::remove_file(&path);
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for StatsLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// Records one run's counters into the cache directory's `stats.json`
-/// (`last_run` replaced, `total` accumulated). Best-effort: failures
-/// are reported in the return value only.
+/// (`last_run` replaced, `total` accumulated). The read-modify-write
+/// runs under [`StatsLock`], so concurrent writers (serve workers,
+/// parallel shard runs) never lose counts to last-writer-wins races.
+/// Best-effort: failures are reported in the return value only.
 pub fn record_run_stats(dir: &Path, run: &CacheStats) -> std::io::Result<()> {
+    let _lock = StatsLock::acquire(dir)?;
     let total = match load_stats_file(dir) {
         Some((_, total)) => total.plus(run),
         None => *run,
@@ -1040,6 +1117,59 @@ mod tests {
         record_run_stats(&dir, &run1).unwrap();
         let (_, total) = load_stats_file(&dir).unwrap();
         assert_eq!(total, run1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_counts() {
+        let dir = tmp("stats-race");
+        std::fs::create_dir_all(&dir).unwrap();
+        const WRITERS: u64 = 8;
+        const ROUNDS: u64 = 25;
+        std::thread::scope(|s| {
+            for _ in 0..WRITERS {
+                s.spawn(|| {
+                    let run = CacheStats {
+                        hits: 1,
+                        misses: 2,
+                        writes: 0,
+                        errors: 0,
+                    };
+                    for _ in 0..ROUNDS {
+                        record_run_stats(&dir, &run).unwrap();
+                    }
+                });
+            }
+        });
+        let (_, total) = load_stats_file(&dir).expect("stats.json loads");
+        // Without the lock this read-modify-write is last-writer-wins
+        // and totals come up short.
+        assert_eq!(total.hits, WRITERS * ROUNDS);
+        assert_eq!(total.misses, 2 * WRITERS * ROUNDS);
+        assert!(!dir.join("stats.lock").exists(), "lock released");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_stats_lock_is_broken() {
+        let dir = tmp("stats-stale");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A lock body stamped at the epoch is as stale as it gets.
+        std::fs::write(dir.join("stats.lock"), "0 0").unwrap();
+        let run = CacheStats {
+            hits: 5,
+            ..CacheStats::default()
+        };
+        let start = std::time::Instant::now();
+        record_run_stats(&dir, &run).unwrap();
+        assert!(start.elapsed() < std::time::Duration::from_secs(4));
+        let (_, total) = load_stats_file(&dir).unwrap();
+        assert_eq!(total.hits, 5);
+        // Garbage lock bodies are treated as stale too.
+        std::fs::write(dir.join("stats.lock"), "not a lock").unwrap();
+        record_run_stats(&dir, &run).unwrap();
+        let (_, total) = load_stats_file(&dir).unwrap();
+        assert_eq!(total.hits, 10);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

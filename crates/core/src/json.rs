@@ -127,14 +127,46 @@ impl Json {
     /// whitespace). Strict: trailing garbage, unescaped control
     /// characters, and malformed numbers are errors.
     ///
+    /// Uses [`ParseLimits::TRUSTED`] — the right bounds for documents
+    /// this workspace wrote itself (reports, goldens, tolerance files).
+    /// Input that crosses a trust boundary (network frames, anything a
+    /// client sent) must go through [`Json::parse_with_limits`] with
+    /// [`ParseLimits::UNTRUSTED`] or tighter.
+    ///
     /// # Errors
     ///
     /// Returns a [`ParseError`] naming the byte offset and the problem.
     pub fn parse(text: &str) -> Result<Json, ParseError> {
+        Json::parse_with_limits(text, &ParseLimits::TRUSTED)
+    }
+
+    /// [`Json::parse`] under explicit resource bounds.
+    ///
+    /// The size cap is checked before any parsing work, so a huge
+    /// hostile document costs one length comparison, not an allocation;
+    /// the depth limit turns deeply nested arrays/objects into a parse
+    /// error instead of unbounded recursion (a stack overflow aborts
+    /// the whole process — unacceptable once the parser reads network
+    /// input).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] naming the byte offset and the problem;
+    /// over-limit input reports which limit it broke.
+    pub fn parse_with_limits(text: &str, limits: &ParseLimits) -> Result<Json, ParseError> {
+        if let Some(cap) = limits.max_bytes {
+            if text.len() > cap {
+                return Err(ParseError {
+                    offset: cap,
+                    message: format!("input is {} bytes, over the {cap}-byte limit", text.len()),
+                });
+            }
+        }
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
             depth: 0,
+            max_depth: limits.max_depth,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -144,6 +176,40 @@ impl Json {
         }
         Ok(v)
     }
+}
+
+/// Resource bounds applied while parsing.
+///
+/// Two presets cover the workspace: [`ParseLimits::TRUSTED`] for
+/// documents produced by this codebase (no size cap — golden report
+/// corpora are large and well-formed), and [`ParseLimits::UNTRUSTED`]
+/// for input that crossed a trust boundary, where both knobs are
+/// deliberately tight. Callers with their own threat model (e.g. the
+/// serve layer's configurable frame cap) build explicit values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum container nesting depth; the value at `max_depth`
+    /// levels of `[`/`{` is rejected.
+    pub max_depth: usize,
+    /// Maximum input length in bytes (`None` = unbounded).
+    pub max_bytes: Option<usize>,
+}
+
+impl ParseLimits {
+    /// Bounds for self-produced documents: generous depth, no size cap.
+    pub const TRUSTED: ParseLimits = ParseLimits {
+        max_depth: 128,
+        max_bytes: None,
+    };
+
+    /// Default bounds for input from outside the process: report-shaped
+    /// documents are at most a handful of levels deep and far under a
+    /// megabyte, so 32 levels and 4 MiB reject abuse without ever
+    /// touching legitimate traffic.
+    pub const UNTRUSTED: ParseLimits = ParseLimits {
+        max_depth: 32,
+        max_bytes: Some(4 << 20),
+    };
 }
 
 fn write_number(x: f64, out: &mut String) {
@@ -197,12 +263,11 @@ impl core::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-const MAX_DEPTH: usize = 128;
-
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
     depth: usize,
+    max_depth: usize,
 }
 
 impl Parser<'_> {
@@ -233,8 +298,8 @@ impl Parser<'_> {
     }
 
     fn value(&mut self) -> Result<Json, ParseError> {
-        if self.depth >= MAX_DEPTH {
-            return Err(self.err("nesting too deep"));
+        if self.depth >= self.max_depth {
+            return Err(self.err(format!("nesting too deep (over {} levels)", self.max_depth)));
         }
         match self.peek() {
             Some(b'{') => self.object(),
@@ -534,5 +599,81 @@ mod tests {
         assert!(Json::parse(&deep).is_err());
         let ok = "[".repeat(100) + &"]".repeat(100);
         assert!(Json::parse(&ok).is_ok());
+    }
+
+    // ---------------------------------------------------------------
+    // Adversarial inputs: what a hostile network client could send.
+    // Every case must produce a ParseError — never a panic, a stack
+    // overflow, or a runaway allocation.
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn hostile_deep_nesting_errors_instead_of_overflowing() {
+        // 4096 levels would overflow the stack of a naive recursive
+        // parser long before the closing brackets are reached.
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let deep = open.repeat(4096) + "0" + &close.repeat(4096);
+            let err = Json::parse(&deep).expect_err("4k nesting must be rejected");
+            assert!(err.message.contains("nesting too deep"), "{err}");
+            let err = Json::parse_with_limits(&deep, &ParseLimits::UNTRUSTED)
+                .expect_err("4k nesting must be rejected under UNTRUSTED too");
+            assert!(err.message.contains("nesting too deep"), "{err}");
+        }
+        // An unclosed nesting bomb (no closing brackets at all) is the
+        // cheaper attack — same rejection, before the input runs out.
+        let bomb = "[".repeat(1 << 16);
+        assert!(Json::parse(&bomb).is_err());
+    }
+
+    #[test]
+    fn depth_limit_boundary_is_exact() {
+        let limits = ParseLimits {
+            max_depth: 8,
+            max_bytes: None,
+        };
+        let at = "[".repeat(8) + &"]".repeat(8);
+        assert!(Json::parse_with_limits(&at, &limits).is_ok());
+        let over = "[".repeat(9) + &"]".repeat(9);
+        assert!(Json::parse_with_limits(&over, &limits).is_err());
+    }
+
+    #[test]
+    fn size_cap_rejects_before_parsing() {
+        let limits = ParseLimits {
+            max_depth: 32,
+            max_bytes: Some(64),
+        };
+        // A huge single token (string or number spelling) over the cap.
+        let huge_string = format!("\"{}\"", "a".repeat(1 << 16));
+        let err = Json::parse_with_limits(&huge_string, &limits).unwrap_err();
+        assert_eq!(err.offset, 64);
+        assert!(err.message.contains("over the 64-byte limit"), "{err}");
+        let huge_number = format!("1{}", "0".repeat(1 << 16));
+        assert!(Json::parse_with_limits(&huge_number, &limits).is_err());
+        // At or under the cap, the same shapes parse.
+        assert!(Json::parse_with_limits("\"aaaa\"", &limits).is_ok());
+        let exactly = format!("\"{}\"", "a".repeat(62));
+        assert_eq!(exactly.len(), 64);
+        assert!(Json::parse_with_limits(&exactly, &limits).is_ok());
+        // TRUSTED has no cap: the huge token is well-formed and parses.
+        assert!(Json::parse(&huge_string).is_ok());
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly() {
+        // Prefixes of a valid document — what a dropped connection
+        // leaves behind — must all error, at every cut point.
+        let doc = r#"{"schema":"compstat-serve/v1","id":"r1","cols":[[0.25,1e-9],[0.5]]}"#;
+        assert!(Json::parse(doc).is_ok());
+        for n in 0..doc.len() {
+            assert!(
+                Json::parse(&doc[..n]).is_err(),
+                "prefix of {n} bytes must not parse"
+            );
+        }
+        // Truncation inside multi-byte tokens and escapes.
+        for bad in ["\"abc", "\"ab\\", "\"ab\\u00", "[1,2", "{\"a\"", "12e", "-"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }

@@ -255,4 +255,56 @@ mod tests {
         assert!(forward_batch(&m.prepare::<f64>(), &batch, &rt).is_empty());
         assert!(forward_log_batch(&m, &batch, &rt).is_empty());
     }
+
+    #[test]
+    fn degenerate_batches_are_pinned() {
+        // Now reachable from the network: empty sequence lists and
+        // empty observation sequences must not panic.
+        let m = toy();
+        let ctx = Context::new(128);
+        for threads in [1, 4] {
+            let rt = Runtime::with_threads(threads);
+            // Empty model list / empty batch through the oracle path.
+            let none: Vec<Vec<usize>> = Vec::new();
+            assert!(forward_oracle_batch(&m, &none, &ctx, &rt).is_empty());
+            // A batch whose sequences are empty: the forward recurrence
+            // over zero steps is the empty product, likelihood 1.
+            let empties: Vec<Vec<usize>> = vec![Vec::new(), Vec::new()];
+            let got = forward_batch(&m.prepare::<f64>(), &empties, &rt);
+            assert_eq!(got, vec![1.0, 1.0]);
+            let oracle = forward_oracle_batch(&m, &empties, &ctx, &rt);
+            assert!(oracle.iter().all(|v| v.exponent() == Some(0)));
+        }
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(
+            Hmm::try_new(0, 2, vec![], vec![], vec![]).unwrap_err(),
+            "empty model"
+        );
+        assert_eq!(
+            Hmm::try_new(2, 2, vec![1.0; 3], vec![0.5; 4], vec![0.5, 0.5]).unwrap_err(),
+            "A must be H x H"
+        );
+        assert_eq!(
+            Hmm::try_new(1, 2, vec![1.0], vec![0.5; 3], vec![1.0]).unwrap_err(),
+            "B must be H x M"
+        );
+        assert_eq!(
+            Hmm::try_new(1, 1, vec![1.0], vec![1.0], vec![]).unwrap_err(),
+            "pi must have H entries"
+        );
+        assert_eq!(
+            Hmm::try_new(1, 2, vec![1.0], vec![f64::NAN, 1.0], vec![1.0]).unwrap_err(),
+            "B row: bad probability"
+        );
+        assert!(Hmm::try_new(1, 2, vec![1.0], vec![0.5, 0.4], vec![1.0])
+            .unwrap_err()
+            .contains("row sums to"));
+        // Hostile dimensions whose products overflow usize must error,
+        // not wrap into a small allocation that passes the length check.
+        assert!(Hmm::try_new(usize::MAX, 2, vec![], vec![], vec![]).is_err());
+        assert!(Hmm::try_new(2, usize::MAX, vec![], vec![], vec![]).is_err());
+    }
 }

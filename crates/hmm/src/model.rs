@@ -32,24 +32,50 @@ impl Hmm {
     /// negative/NaN, or if any row sum deviates from 1 by more than 1e-6.
     #[must_use]
     pub fn new(h: usize, m: usize, a: Vec<f64>, b: Vec<f64>, pi: Vec<f64>) -> Hmm {
-        assert!(h > 0 && m > 0, "empty model");
-        assert_eq!(a.len(), h * h, "A must be H x H");
-        assert_eq!(b.len(), h * m, "B must be H x M");
-        assert_eq!(pi.len(), h, "pi must have H entries");
-        let check_row = |row: &[f64], what: &str| {
-            assert!(
-                row.iter().all(|&p| p >= 0.0 && p.is_finite()),
-                "{what}: bad probability"
-            );
+        Hmm::try_new(h, m, a, b, pi).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds an HMM, returning validation failures as typed errors
+    /// instead of panicking — the constructor for untrusted (network)
+    /// input. Dimension products are overflow-checked, so hostile
+    /// `h`/`m` values cannot wrap.
+    pub fn try_new(
+        h: usize,
+        m: usize,
+        a: Vec<f64>,
+        b: Vec<f64>,
+        pi: Vec<f64>,
+    ) -> Result<Hmm, String> {
+        if h == 0 || m == 0 {
+            return Err("empty model".into());
+        }
+        let hh = h.checked_mul(h).ok_or("A must be H x H")?;
+        let hm = h.checked_mul(m).ok_or("B must be H x M")?;
+        if a.len() != hh {
+            return Err("A must be H x H".into());
+        }
+        if b.len() != hm {
+            return Err("B must be H x M".into());
+        }
+        if pi.len() != h {
+            return Err("pi must have H entries".into());
+        }
+        let check_row = |row: &[f64], what: &str| -> Result<(), String> {
+            if !row.iter().all(|&p| p >= 0.0 && p.is_finite()) {
+                return Err(format!("{what}: bad probability"));
+            }
             let s: f64 = row.iter().sum();
-            assert!((s - 1.0).abs() < 1e-6, "{what}: row sums to {s}");
+            if (s - 1.0).abs() >= 1e-6 {
+                return Err(format!("{what}: row sums to {s}"));
+            }
+            Ok(())
         };
         for i in 0..h {
-            check_row(&a[i * h..(i + 1) * h], "A row");
-            check_row(&b[i * m..(i + 1) * m], "B row");
+            check_row(&a[i * h..(i + 1) * h], "A row")?;
+            check_row(&b[i * m..(i + 1) * m], "B row")?;
         }
-        check_row(&pi, "pi");
-        Hmm { h, m, a, b, pi }
+        check_row(&pi, "pi")?;
+        Ok(Hmm { h, m, a, b, pi })
     }
 
     /// Number of hidden states `H`.

@@ -274,4 +274,16 @@ mod tests {
         let ctx = Context::new(128);
         let _ = call_columns::<f64>(&columns, &[], &ctx, &Runtime::serial());
     }
+
+    #[test]
+    fn zero_columns_is_an_empty_outcome_batch() {
+        // The degenerate batch a network client can submit: no columns,
+        // no oracles — an empty result, not a panic.
+        let ctx = Context::new(128);
+        for threads in [1, 4] {
+            let rt = Runtime::with_threads(threads);
+            assert!(call_columns::<f64>(&[], &[], &ctx, &rt).is_empty());
+            assert!(call_columns::<LogF64>(&[], &[], &ctx, &rt).is_empty());
+        }
+    }
 }

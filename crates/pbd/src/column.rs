@@ -27,12 +27,20 @@ impl Column {
     /// Panics if any probability is outside `[0, 1]` or `k > N`.
     #[must_use]
     pub fn new(success_probs: Vec<f64>, k: usize) -> Column {
-        assert!(
-            success_probs.iter().all(|p| (0.0..=1.0).contains(p)),
-            "success probabilities must be in [0,1]"
-        );
-        assert!(k <= success_probs.len(), "K cannot exceed N");
-        Column { success_probs, k }
+        Column::try_new(success_probs, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a column, returning the validation failure as a typed
+    /// error instead of panicking — the constructor for untrusted
+    /// (network) input.
+    pub fn try_new(success_probs: Vec<f64>, k: usize) -> Result<Column, String> {
+        if !success_probs.iter().all(|p| (0.0..=1.0).contains(p)) {
+            return Err("success probabilities must be in [0,1]".into());
+        }
+        if k > success_probs.len() {
+            return Err("K cannot exceed N".into());
+        }
+        Ok(Column { success_probs, k })
     }
 
     /// Number of reads `N`.
@@ -159,5 +167,34 @@ mod tests {
     #[should_panic(expected = "K cannot exceed N")]
     fn rejects_k_beyond_n() {
         let _ = Column::new(vec![0.5; 3], 4);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(
+            Column::try_new(vec![0.5; 3], 4).unwrap_err(),
+            "K cannot exceed N"
+        );
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            assert_eq!(
+                Column::try_new(vec![bad], 0).unwrap_err(),
+                "success probabilities must be in [0,1]"
+            );
+        }
+        assert!(Column::try_new(vec![0.0, 1.0, 0.5], 3).is_ok());
+    }
+
+    #[test]
+    fn empty_column_has_pvalue_one() {
+        // Zero reads, zero observed variants: P(K >= 0) = 1 in every
+        // format and in the oracle — pinned because the network path
+        // can submit it.
+        let ctx = Context::new(128);
+        let col = Column::try_new(Vec::new(), 0).unwrap();
+        assert_eq!(col.n(), 0);
+        assert_eq!(col.pvalue_in::<f64>(), 1.0);
+        let out = call_column::<f64>(&col, &ctx);
+        assert!(!out.called_variant && !out.oracle_variant);
+        assert_eq!(out.error.class, compstat_core::ErrorClass::Exact);
     }
 }
