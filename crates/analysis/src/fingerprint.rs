@@ -1,0 +1,350 @@
+//! The `kernel-tag-guard` rule: oracle-kernel fingerprints.
+//!
+//! Files that define an `ORACLE_KERNEL_TAG` constant feed the
+//! content-addressed oracle cache — their *source* is a cache key by
+//! proxy, and CONTRIBUTING requires the tag to be bumped whenever the
+//! kernel's bytes change meaning. Until now only a cold-cache CI run
+//! could catch a missed bump. This module mechanizes the policy:
+//!
+//! * every tagged file's **comment- and whitespace-stripped token
+//!   stream** is hashed with the workspace's own SHA-256
+//!   ([`compstat_core::cache::sha256_hex`]), so doc edits and
+//!   reformatting do not trip the guard but any code change does;
+//! * the committed `goldens/kernel_fingerprints.json`
+//!   (schema [`FINGERPRINTS_SCHEMA`]) records `(path, tag, sha256)`
+//!   per tagged file;
+//! * [`check`] compares the tree against the committed file and
+//!   reports drift as [`Rule::KernelTagGuard`] findings, telling
+//!   apart "source changed without a tag bump" (the policy violation)
+//!   from "tag bumped, fingerprint stale — regenerate" (the expected
+//!   regen step);
+//! * [`regen`] rewrites the file after a legitimate kernel edit
+//!   (`compstat audit --regen-fingerprints`).
+//!
+//! The fingerprints file stores entries as an **array**, not an
+//! object, precisely so that duplicate-path entries are representable
+//! — and rejectable with a reason — instead of being masked by JSON
+//! object-key semantics.
+
+use crate::lexer::tokenize;
+use crate::rules::{Finding, Rule};
+use crate::scope;
+use compstat_core::cache::{sha256_hex, write_atomic};
+use compstat_core::json::Json;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Schema identifier of the fingerprints file.
+pub const FINGERPRINTS_SCHEMA: &str = "compstat-kernel-fingerprints/v1";
+
+/// Workspace-relative path of the committed fingerprints file.
+pub const DEFAULT_PATH: &str = "goldens/kernel_fingerprints.json";
+
+/// The marker constant that declares a file an oracle kernel.
+pub const TAG_CONST: &str = "ORACLE_KERNEL_TAG";
+
+/// One recorded kernel fingerprint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// The `ORACLE_KERNEL_TAG` value at fingerprint time.
+    pub tag: String,
+    /// SHA-256 (lowercase hex) of the comment-stripped token stream.
+    pub sha256: String,
+}
+
+/// A tagged kernel file found in the tree.
+#[derive(Clone, Debug)]
+pub struct TaggedFile {
+    /// Workspace-relative path (forward slashes).
+    pub rel: String,
+    /// The tag constant's value.
+    pub tag: String,
+    /// 1-based line of the tag constant (anchor for findings).
+    pub line: u32,
+    /// Current fingerprint of the file.
+    pub sha256: String,
+}
+
+/// Hashes a source file the way the guard sees it: the concatenated
+/// non-comment token texts, newline-separated. Comments and layout
+/// are invisible; every code token counts (including the tag string
+/// itself).
+#[must_use]
+pub fn kernel_fingerprint(source: &str) -> String {
+    let mut joined = String::new();
+    for tok in tokenize(source).iter().filter(|t| !t.is_comment()) {
+        joined.push_str(&tok.text);
+        joined.push('\n');
+    }
+    sha256_hex(joined.as_bytes())
+}
+
+/// Extracts the `ORACLE_KERNEL_TAG` value from a source file, if it
+/// defines one (`const ORACLE_KERNEL_TAG: &str = "…";` — uses of the
+/// constant elsewhere do not count).
+#[must_use]
+pub fn tag_of(source: &str) -> Option<(String, u32)> {
+    let toks: Vec<_> = tokenize(source)
+        .into_iter()
+        .filter(|t| !t.is_comment())
+        .collect();
+    for i in 0..toks.len() {
+        if toks[i].text != TAG_CONST || i == 0 || toks[i - 1].text != "const" {
+            continue;
+        }
+        // Scan a short window for `= "…"`.
+        for j in i + 1..toks.len().min(i + 8) {
+            if toks[j].text == "=" {
+                if let Some(t) = toks.get(j + 1) {
+                    if t.text.starts_with('"') {
+                        return Some((t.text.trim_matches('"').to_string(), toks[i].line));
+                    }
+                }
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// Scans the default audit set for tagged kernel files.
+pub fn tagged_files(root: &Path) -> io::Result<Vec<TaggedFile>> {
+    let mut out = Vec::new();
+    for path in scope::default_files(root)? {
+        let source = fs::read_to_string(&path)?;
+        if let Some((tag, line)) = tag_of(&source) {
+            out.push(TaggedFile {
+                rel: scope::rel_path(root, &path),
+                tag,
+                line,
+                sha256: kernel_fingerprint(&source),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Loads and validates a fingerprints file, accumulating **all**
+/// problems (parse, schema, field, duplicate, non-hex) rather than
+/// stopping at the first.
+pub fn load(path: &Path) -> Result<Vec<Entry>, Vec<String>> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| vec![format!("cannot read {}: {e}", path.display())])?;
+    let doc = Json::parse(&text).map_err(|e| vec![format!("invalid JSON: {e}")])?;
+    validate_doc(&doc)
+}
+
+/// Validates a parsed fingerprints document; returns the entries or
+/// every reason it is unacceptable.
+pub fn validate_doc(doc: &Json) -> Result<Vec<Entry>, Vec<String>> {
+    let mut errors = Vec::new();
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == FINGERPRINTS_SCHEMA => {}
+        Some(s) => errors.push(format!("schema is {s:?}, expected {FINGERPRINTS_SCHEMA:?}")),
+        None => errors.push("missing string field \"schema\"".to_string()),
+    }
+    let mut entries = Vec::new();
+    match doc.get("entries").and_then(Json::as_arr) {
+        None => errors.push("missing array field \"entries\"".to_string()),
+        Some(arr) => {
+            for (idx, e) in arr.iter().enumerate() {
+                let field = |name: &str| -> Option<String> {
+                    e.get(name).and_then(Json::as_str).map(str::to_string)
+                };
+                let (path, tag, sha) = (field("path"), field("tag"), field("sha256"));
+                for (name, v) in [("path", &path), ("tag", &tag), ("sha256", &sha)] {
+                    if v.is_none() {
+                        errors.push(format!("entries[{idx}]: missing string field {name:?}"));
+                    }
+                }
+                let (Some(path), Some(tag), Some(sha)) = (path, tag, sha) else {
+                    continue;
+                };
+                if sha.len() != 64 || !sha.chars().all(|c| c.is_ascii_hexdigit()) {
+                    errors.push(format!(
+                        "entries[{idx}] ({path}): sha256 {sha:?} is not 64 hex digits"
+                    ));
+                } else if sha.chars().any(|c| c.is_ascii_uppercase()) {
+                    errors.push(format!(
+                        "entries[{idx}] ({path}): sha256 must be lowercase hex"
+                    ));
+                }
+                if entries.iter().any(|prev: &Entry| prev.path == path) {
+                    errors.push(format!("entries[{idx}]: duplicate entry for path {path:?}"));
+                    continue;
+                }
+                entries.push(Entry {
+                    path,
+                    tag,
+                    sha256: sha,
+                });
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(entries)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Compares the tree under `root` against the fingerprints file and
+/// reports every drift as a finding.
+pub fn check(root: &Path, fingerprints: &Path) -> io::Result<Vec<Finding>> {
+    let tagged = tagged_files(root)?;
+    let fp_rel = scope::rel_path(root, fingerprints);
+    let mut findings = Vec::new();
+    let finding = |file: &str, line: u32, message: String| Finding {
+        rule: Rule::KernelTagGuard,
+        file: file.to_string(),
+        line,
+        col: 1,
+        snippet: String::new(),
+        message,
+    };
+    let entries = match load(fingerprints) {
+        Ok(entries) => entries,
+        Err(errors) => {
+            for e in errors {
+                findings.push(finding(&fp_rel, 1, e));
+            }
+            return Ok(findings);
+        }
+    };
+    for t in &tagged {
+        match entries.iter().find(|e| e.path == t.rel) {
+            None => findings.push(finding(
+                &t.rel,
+                t.line,
+                format!(
+                    "tagged kernel file has no committed fingerprint — run \
+                     `compstat audit --regen-fingerprints` and commit {DEFAULT_PATH}"
+                ),
+            )),
+            Some(e) if e.sha256 == t.sha256 => {}
+            Some(e) if e.tag == t.tag => findings.push(finding(
+                &t.rel,
+                t.line,
+                format!(
+                    "kernel source changed but ORACLE_KERNEL_TAG is still {:?} — bump \
+                     the tag (cache entries keyed by it are now stale), then run \
+                     `compstat audit --regen-fingerprints`",
+                    t.tag
+                ),
+            )),
+            Some(e) => findings.push(finding(
+                &t.rel,
+                t.line,
+                format!(
+                    "ORACLE_KERNEL_TAG bumped ({:?} -> {:?}) but the committed \
+                     fingerprint is stale — run `compstat audit --regen-fingerprints`",
+                    e.tag, t.tag
+                ),
+            )),
+        }
+    }
+    for e in &entries {
+        if !tagged.iter().any(|t| t.rel == e.path) {
+            findings.push(finding(
+                &fp_rel,
+                1,
+                format!(
+                    "stale fingerprint entry: {:?} no longer defines {TAG_CONST} — run \
+                     `compstat audit --regen-fingerprints`",
+                    e.path
+                ),
+            ));
+        }
+    }
+    Ok(findings)
+}
+
+/// Renders the fingerprints document for the current tree.
+pub fn render(root: &Path) -> io::Result<String> {
+    let tagged = tagged_files(root)?;
+    let entries: Vec<Json> = tagged
+        .iter()
+        .map(|t| {
+            Json::obj(vec![
+                ("path", Json::str(t.rel.clone())),
+                ("tag", Json::str(t.tag.clone())),
+                ("sha256", Json::str(t.sha256.clone())),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("schema", Json::str(FINGERPRINTS_SCHEMA)),
+        ("entries", Json::Arr(entries)),
+    ]);
+    Ok(format!("{}\n", doc.to_json_string()))
+}
+
+/// Regenerates the fingerprints file in place (atomically).
+pub fn regen(root: &Path, fingerprints: &Path) -> io::Result<usize> {
+    let tagged = tagged_files(root)?;
+    let text = render(root)?;
+    write_atomic(fingerprints, text.as_bytes())?;
+    Ok(tagged.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KERNEL: &str = r#"
+/// Oracle kernel.
+pub const ORACLE_KERNEL_TAG: &str = "demo-oracle/v1";
+pub fn kernel(x: u32) -> u32 { x + 1 }
+"#;
+
+    #[test]
+    fn fingerprint_ignores_comments_and_layout_not_code() {
+        let base = kernel_fingerprint(KERNEL);
+        let reformatted = KERNEL.replace(" + 1 ", "   +   1 ");
+        let recommented = KERNEL.replace("/// Oracle kernel.", "/// An oracle kernel!");
+        let edited = KERNEL.replace("x + 1", "x + 2");
+        assert_eq!(base, kernel_fingerprint(&reformatted));
+        assert_eq!(base, kernel_fingerprint(&recommented));
+        assert_ne!(base, kernel_fingerprint(&edited));
+    }
+
+    #[test]
+    fn tag_of_finds_definitions_not_uses() {
+        let (tag, line) = tag_of(KERNEL).expect("tag");
+        assert_eq!(tag, "demo-oracle/v1");
+        assert_eq!(line, 3);
+        assert!(tag_of("fn f() { g(ORACLE_KERNEL_TAG); }").is_none());
+        assert!(tag_of("// const ORACLE_KERNEL_TAG: &str = \"x\";").is_none());
+    }
+
+    #[test]
+    fn validate_doc_accumulates_every_error() {
+        let doc = Json::parse(
+            r#"{"schema":"compstat-kernel-fingerprints/v1","entries":[
+                {"path":"a.rs","tag":"t","sha256":"zz"},
+                {"path":"b.rs","tag":"t","sha256":"AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA"},
+                {"path":"a.rs","tag":"t2","sha256":"0000000000000000000000000000000000000000000000000000000000000000"},
+                {"path":"c.rs","tag":"t"}
+            ]}"#,
+        )
+        .expect("parse");
+        let errors = validate_doc(&doc).expect_err("invalid");
+        assert_eq!(errors.len(), 4, "{errors:?}");
+        assert!(errors[0].contains("not 64 hex digits"), "{errors:?}");
+        assert!(errors[1].contains("lowercase"), "{errors:?}");
+        assert!(errors[2].contains("duplicate"), "{errors:?}");
+        assert!(errors[3].contains("sha256"), "{errors:?}");
+    }
+
+    #[test]
+    fn bad_schema_is_an_error() {
+        let doc = Json::parse(r#"{"schema":"other/v1","entries":[]}"#).expect("parse");
+        assert!(validate_doc(&doc).is_err());
+        let ok = Json::parse(r#"{"schema":"compstat-kernel-fingerprints/v1","entries":[]}"#)
+            .expect("parse");
+        assert_eq!(validate_doc(&ok).expect("valid"), Vec::new());
+    }
+}

@@ -1,0 +1,104 @@
+//! # compstat-analysis
+//!
+//! A zero-dependency, token-aware static-analysis engine for the
+//! workspace's own Rust sources — the `compstat audit` subcommand.
+//!
+//! Every accuracy claim this reproduction makes rests on invariants
+//! that were previously enforced only by convention: byte-stable
+//! reports must not iterate hash maps or read clocks, floats in report
+//! paths must go through the fixed-decimal/scientific renderers, the
+//! `2f64.powf(x)` spelling diverges between debug and release builds,
+//! `as` casts silently round in the numeric kernels, the serve request
+//! path must not panic on hostile input, and `ORACLE_KERNEL_TAG` must
+//! be bumped whenever an oracle kernel's code changes. This crate
+//! mechanizes all of them:
+//!
+//! * [`lexer`] — a hand-rolled Rust lexer (comments, strings, raw
+//!   strings, char literals vs. lifetimes), so rules match real tokens
+//!   instead of grep hits inside string literals;
+//! * [`rules`] — the rule engine and the six token rules;
+//! * [`suppress`] — inline `// compstat-audit: allow(<rule>): <reason>`
+//!   waivers, with the reason mandatory;
+//! * [`scope`] — the default file set and per-path rule scoping,
+//!   including the declared-measured allowlist;
+//! * [`fingerprint`] — the `kernel-tag-guard` rule: SHA-256
+//!   fingerprints of every `ORACLE_KERNEL_TAG`-carrying file against
+//!   the committed `goldens/kernel_fingerprints.json`;
+//! * [`doc`] — the `compstat-audit/v1` result document (text + JSON).
+//!
+//! The engine depends only on `compstat-core` (for its SHA-256 and
+//! JSON model) and the standard library.
+
+#![warn(missing_docs)]
+
+pub mod doc;
+pub mod fingerprint;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+pub mod suppress;
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+/// What to audit.
+pub struct AuditOptions {
+    /// Workspace root (paths in findings are relative to it).
+    pub root: PathBuf,
+    /// Explicit files/directories to audit; empty means the default
+    /// workspace set. Explicit paths get every token rule (they carry
+    /// no scoping information) and skip the whole-tree
+    /// `kernel-tag-guard`.
+    pub paths: Vec<PathBuf>,
+    /// Fingerprints file; `None` means
+    /// `<root>/goldens/kernel_fingerprints.json`.
+    pub fingerprints: Option<PathBuf>,
+}
+
+impl AuditOptions {
+    /// Audits the default workspace set under `root`.
+    #[must_use]
+    pub fn workspace(root: impl Into<PathBuf>) -> AuditOptions {
+        AuditOptions {
+            root: root.into(),
+            paths: Vec::new(),
+            fingerprints: None,
+        }
+    }
+
+    /// The effective fingerprints path.
+    #[must_use]
+    pub fn fingerprints_path(&self) -> PathBuf {
+        self.fingerprints
+            .clone()
+            .unwrap_or_else(|| self.root.join(fingerprint::DEFAULT_PATH))
+    }
+}
+
+/// Runs the audit and returns the sorted result document.
+pub fn run_audit(opts: &AuditOptions) -> io::Result<doc::AuditDoc> {
+    let files = if opts.paths.is_empty() {
+        scope::default_files(&opts.root)?
+    } else {
+        scope::expand_paths(&opts.paths)?
+    };
+    let mut out = doc::AuditDoc {
+        files_scanned: files.len(),
+        ..doc::AuditDoc::default()
+    };
+    for path in &files {
+        let source = fs::read_to_string(path)?;
+        let rel = scope::rel_path(&opts.root, path);
+        let analysis = rules::FileAnalysis::new(&rel, &source);
+        let report = rules::check_file(&analysis, &scope::rules_for(&rel));
+        out.findings.extend(report.findings);
+        out.allowed.extend(report.allowed);
+    }
+    if opts.paths.is_empty() {
+        out.findings
+            .extend(fingerprint::check(&opts.root, &opts.fingerprints_path())?);
+    }
+    out.sort();
+    Ok(out)
+}

@@ -1,0 +1,222 @@
+//! Inline audit suppressions.
+//!
+//! A finding can be waived at its site with a comment of the form
+//!
+//! ```text
+//! // compstat-audit: allow(nondeterminism): measured section, not in the report
+//! ```
+//!
+//! The reason after the second colon is **mandatory** — an allow
+//! without one is itself a violation (rule `suppression`), because an
+//! unexplained waiver is exactly the "enforced only by convention"
+//! state this engine exists to remove. A suppression covers findings
+//! on its own line and on the following line, so both trailing and
+//! preceding placements work:
+//!
+//! ```text
+//! let t = Instant::now(); // compstat-audit: allow(nondeterminism): why
+//! // compstat-audit: allow(nondeterminism): why
+//! let t = Instant::now();
+//! ```
+
+use crate::lexer::Tok;
+use crate::rules::Rule;
+
+/// One parsed `compstat-audit: allow(...)` comment.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// The rule being waived.
+    pub rule: Rule,
+    /// The mandatory justification.
+    pub reason: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+}
+
+/// A malformed suppression comment (unknown rule, missing reason) —
+/// reported as a finding, never silently honored.
+#[derive(Clone, Debug)]
+pub struct BadSuppression {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// The marker every suppression comment carries.
+pub const MARKER: &str = "compstat-audit:";
+
+/// Extracts suppressions (and malformed ones) from a token stream's
+/// comments.
+#[must_use]
+pub fn parse(tokens: &[Tok]) -> (Vec<Suppression>, Vec<BadSuppression>) {
+    let mut good = Vec::new();
+    let mut bad = Vec::new();
+    for tok in tokens.iter().filter(|t| t.is_comment()) {
+        // Doc comments are documentation, not waivers: prose (and the
+        // audit's own docs) may mention the marker without promising
+        // anything. Suppressions live in plain `//` / `/* */` comments.
+        if tok.text.starts_with("///")
+            || tok.text.starts_with("//!")
+            || tok.text.starts_with("/**")
+            || tok.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(at) = tok.text.find(MARKER) else {
+            continue;
+        };
+        let rest = tok.text[at + MARKER.len()..].trim_start();
+        match parse_directive(rest) {
+            Ok((rule, reason)) => good.push(Suppression {
+                rule,
+                reason,
+                line: tok.line,
+            }),
+            Err(message) => bad.push(BadSuppression {
+                line: tok.line,
+                message,
+            }),
+        }
+    }
+    (good, bad)
+}
+
+/// Parses `allow(<rule>): <reason>` after the marker.
+fn parse_directive(rest: &str) -> Result<(Rule, String), String> {
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return Err(format!(
+            "expected `allow(<rule>): <reason>` after `{MARKER}`, got {rest:?}"
+        ));
+    };
+    let Some(close) = args.find(')') else {
+        return Err("unclosed `allow(`".to_string());
+    };
+    let rule_name = args[..close].trim();
+    let Some(rule) = Rule::parse(rule_name) else {
+        return Err(format!(
+            "unknown rule {rule_name:?} (known: {})",
+            Rule::ALL
+                .iter()
+                .map(|r| r.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    };
+    if !rule.suppressible() {
+        return Err(format!(
+            "rule {rule_name:?} cannot be suppressed inline (it guards the audit itself)"
+        ));
+    }
+    let after = args[close + 1..].trim_start();
+    let Some(reason) = after.strip_prefix(':') else {
+        return Err("missing `: <reason>` — suppressions require a reason".to_string());
+    };
+    // Strip a block comment's closing delimiter before judging
+    // emptiness.
+    let reason = reason.trim().trim_end_matches("*/").trim();
+    if reason.is_empty() {
+        return Err("empty reason — suppressions require a reason".to_string());
+    }
+    Ok((rule, reason.to_string()))
+}
+
+/// True when `line` is covered by a suppression of `rule`.
+#[must_use]
+pub fn covered(suppressions: &[Suppression], rule: Rule, line: u32) -> bool {
+    suppressions
+        .iter()
+        .any(|s| s.rule == rule && (s.line == line || s.line + 1 == line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    #[test]
+    fn well_formed_suppressions_parse() {
+        let toks = tokenize(
+            "// compstat-audit: allow(nondeterminism): measured block\nlet t = Instant::now();",
+        );
+        let (good, bad) = parse(&toks);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(good.len(), 1);
+        assert_eq!(good[0].rule, Rule::Nondeterminism);
+        assert_eq!(good[0].reason, "measured block");
+        assert_eq!(good[0].line, 1);
+        assert!(covered(&good, Rule::Nondeterminism, 1));
+        assert!(covered(&good, Rule::Nondeterminism, 2));
+        assert!(!covered(&good, Rule::Nondeterminism, 3));
+        assert!(!covered(&good, Rule::LossyCast, 2));
+    }
+
+    #[test]
+    fn reasons_are_mandatory() {
+        for src in [
+            "// compstat-audit: allow(nondeterminism)",
+            "// compstat-audit: allow(nondeterminism):",
+            "// compstat-audit: allow(nondeterminism):   ",
+            "/* compstat-audit: allow(nondeterminism): */",
+        ] {
+            let (good, bad) = parse(&tokenize(src));
+            assert!(good.is_empty(), "{src:?}");
+            assert_eq!(bad.len(), 1, "{src:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_rules_and_malformed_directives_are_findings() {
+        for src in [
+            "// compstat-audit: allow(imaginary-rule): because",
+            "// compstat-audit: deny(nondeterminism): because",
+            "// compstat-audit: allow(nondeterminism because",
+        ] {
+            let (good, bad) = parse(&tokenize(src));
+            assert!(good.is_empty(), "{src:?}");
+            assert_eq!(bad.len(), 1, "{src:?}");
+        }
+    }
+
+    #[test]
+    fn non_suppressible_rules_are_refused() {
+        let (good, bad) = parse(&tokenize(
+            "// compstat-audit: allow(kernel-tag-guard): trust me",
+        ));
+        assert!(good.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("cannot be suppressed"), "{bad:?}");
+    }
+
+    #[test]
+    fn doc_comments_are_prose_not_directives() {
+        for src in [
+            "/// Waive with `compstat-audit: allow(float-format): why`.",
+            "//! Example: compstat-audit: allow(bogus)",
+            "/** compstat-audit: allow(nope) */",
+            "/*! compstat-audit: allow(nope) */",
+        ] {
+            let (good, bad) = parse(&tokenize(src));
+            assert!(good.is_empty(), "{src:?}");
+            assert!(bad.is_empty(), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn markers_inside_strings_are_not_suppressions() {
+        let src = r#"let s = "compstat-audit: allow(nondeterminism): nope";"#;
+        let (good, bad) = parse(&tokenize(src));
+        assert!(good.is_empty());
+        assert!(bad.is_empty());
+    }
+
+    #[test]
+    fn block_comment_suppressions_work() {
+        let (good, bad) = parse(&tokenize(
+            "/* compstat-audit: allow(float-format): fixed-precision cell */ let x = 1;",
+        ));
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(good.len(), 1);
+        assert_eq!(good[0].reason, "fixed-precision cell");
+    }
+}

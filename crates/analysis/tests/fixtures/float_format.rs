@@ -1,0 +1,5 @@
+//! Known-bad fixture: Display-formats a float in a report path.
+
+pub fn cell(ratio: f64) -> String {
+    format!("{}", ratio)
+}

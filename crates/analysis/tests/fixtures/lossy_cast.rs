@@ -1,0 +1,5 @@
+//! Known-bad fixture: a silent float -> int `as` cast in kernel code.
+
+pub fn truncate(x: f64) -> u64 {
+    x as u64
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture: reads a wall clock in a deterministic path.
+
+pub fn stamp() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}

@@ -1,0 +1,5 @@
+//! Known-bad fixture: a panic reachable from the request path.
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture: pow(2, x) spelled with powf — the debug/release
+//! exp2 divergence class.
+
+pub fn pow2(x: f64) -> f64 {
+    2f64.powf(x)
+}

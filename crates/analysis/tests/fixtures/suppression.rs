@@ -1,0 +1,7 @@
+//! Known-bad fixture: a reason-less waiver (suppressions require a
+//! reason).
+
+pub fn quiet() -> u64 {
+    // compstat-audit: allow(nondeterminism)
+    0
+}

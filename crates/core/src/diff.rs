@@ -952,7 +952,9 @@ pub fn diff_sets(
 ) -> DiffReport {
     let mut report = DiffReport::default();
     for (which, set) in [("baseline", old), ("new", new)] {
-        let mut seen = std::collections::HashSet::new();
+        // BTreeSet, not HashSet: this runs in the report-diff path,
+        // where even container iteration order must be deterministic.
+        let mut seen = std::collections::BTreeSet::new();
         for r in set {
             if !seen.insert(r.name.as_str()) {
                 report.changes.push(Change {

@@ -10,11 +10,6 @@
 //! * [`forward_trace`] — the Figure 1 experiment: the base-2 exponent of
 //!   the `alpha` vector over iterations, tracked exactly.
 
-// The kernels deliberately keep the paper's indexed-loop form (Listing 1
-// / Listing 3 pseudocode) rather than iterator chains, so the Rust reads
-// line-for-line against the listings it reproduces.
-#![allow(clippy::needless_range_loop)]
-
 use crate::model::{Hmm, PreparedHmm};
 use compstat_bigfloat::{BigFloat, Context, Tiered, TieredCtx};
 use compstat_core::StatFloat;

@@ -73,6 +73,7 @@ pub fn hcg_like<R: Rng + ?Sized>(rng: &mut R, h: usize) -> Hmm {
             a[i * h + j] = if i == j {
                 0.9
             } else if h > 1 {
+                // compstat-audit: allow(lossy-cast): h is the hidden-state count (paper uses 2..=64), exactly representable in f64
                 0.1 / (h - 1) as f64
             } else {
                 0.0
@@ -94,6 +95,7 @@ pub fn hcg_like<R: Rng + ?Sized>(rng: &mut R, h: usize) -> Hmm {
         }
         b.extend(row);
     }
+    // compstat-audit: allow(lossy-cast): h is the hidden-state count (paper uses 2..=64), exactly representable in f64
     let pi = vec![1.0 / h as f64; h];
     Hmm::new(h, m, a, b, pi)
 }

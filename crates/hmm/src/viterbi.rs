@@ -2,10 +2,6 @@
 //! kernels (extensions beyond the paper's forward-only evaluation, with
 //! the same iterated-product numerical structure).
 
-// Indexed loops match the textbook dynamic-programming recurrences (and
-// the sibling forward.rs kernels); see the note there.
-#![allow(clippy::needless_range_loop)]
-
 use crate::model::{Hmm, PreparedHmm};
 use compstat_core::StatFloat;
 use compstat_logspace::LogF64;

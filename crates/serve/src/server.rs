@@ -99,6 +99,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
                     .spawn(move || worker_loop(&rx, &responder, timeout, max_frame))
+                    // compstat-audit: allow(panic-in-serve): startup-only, before any socket is accepted; spawn failure means the process cannot serve at all
                     .expect("spawn worker thread")
             })
             .collect();
@@ -109,6 +110,7 @@ impl Server {
             std::thread::Builder::new()
                 .name("serve-accept".to_string())
                 .spawn(move || accept_loop(&listener, &tx, &stop, &counters))
+                // compstat-audit: allow(panic-in-serve): startup-only, before any socket is accepted; spawn failure means the process cannot serve at all
                 .expect("spawn accept thread")
         };
 
@@ -195,7 +197,13 @@ fn worker_loop(
 ) {
     loop {
         let conn = {
-            let guard = rx.lock().expect("accept queue lock");
+            // Recover from a poisoned queue lock rather than panic: a
+            // sibling worker dying while holding it would otherwise
+            // cascade through every worker and stop the service. The
+            // guarded Receiver has no invariant a poison could have
+            // broken — recv() either yields a connection or reports
+            // the channel closed.
+            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             guard.recv()
         };
         let Ok(conn) = conn else { return };

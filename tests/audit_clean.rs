@@ -1,0 +1,39 @@
+//! Tier-1 gate: the repository audits clean at HEAD.
+//!
+//! `compstat audit` mechanizes the determinism and precision
+//! invariants (no clocks/hash-order/env reads in report paths, no
+//! Display-formatted floats in reports, no `powf(2, …)`, no silent
+//! kernel casts, no panics in the serve request path, no oracle-kernel
+//! edits without an `ORACLE_KERNEL_TAG` bump). A violation anywhere in
+//! the tree — including a stale `goldens/kernel_fingerprints.json` —
+//! fails this test with the full findings listing.
+
+use compstat_analysis::{run_audit, AuditOptions};
+
+#[test]
+fn repository_audits_clean() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let audit = run_audit(&AuditOptions::workspace(root)).expect("audit runs");
+    assert!(audit.files_scanned > 50, "suspiciously small audit set");
+    assert!(
+        audit.is_clean(),
+        "compstat audit found violations:\n{}",
+        audit.render_text()
+    );
+}
+
+#[test]
+fn waivers_carry_reasons() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let audit = run_audit(&AuditOptions::workspace(root)).expect("audit runs");
+    // Every allowed finding must carry a non-empty reason (the parser
+    // enforces this; the assertion keeps it an explicit contract).
+    for a in &audit.allowed {
+        assert!(
+            !a.reason.trim().is_empty(),
+            "reason-less waiver at {}:{}",
+            a.finding.file,
+            a.finding.line
+        );
+    }
+}
